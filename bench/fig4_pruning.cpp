@@ -1,0 +1,89 @@
+// Reproduces the data behind Fig. 4: buffer usage counts over the sampling
+// run, and the pruning rule "remove nodes adjusted in <= 1 samples that are
+// not adjacent to a critical node (>= 5 of 10000)".  Reports the usage-count
+// distribution, the pruned/kept split, and the runtime effect of pruning.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace clktune;
+
+int run() {
+  bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  auto spec = *netlist::paper_circuit_spec(
+      util::env_string("CLKTUNE_FIG4_CIRCUIT", "s13207"));
+  const bench::PreparedCircuit pc = bench::prepare(spec, cfg);
+  const double t = pc.setting_period(0);
+
+  util::Stopwatch sw_on;
+  core::InsertionConfig with_pruning = cfg.insertion();
+  core::BufferInsertionEngine engine(pc.design, pc.graph, t, with_pruning);
+  const core::InsertionResult res = engine.run();
+  const double secs_on = sw_on.seconds();
+
+  std::printf("Fig. 4 reproduction: circuit=%s T=%.1f ps samples=%llu\n\n",
+              spec.name.c_str(), t,
+              static_cast<unsigned long long>(cfg.samples));
+
+  // Usage-count distribution (the numbers written inside Fig. 4's nodes).
+  std::map<std::uint64_t, int> histogram;
+  for (std::uint64_t u : res.step1_usage) ++histogram[u];
+  std::printf("usage-count distribution after step 1 (count: #flip-flops):\n");
+  for (const auto& [usage, n] : histogram)
+    if (usage > 0 || n < pc.graph.num_ffs)
+      std::printf("  %6llu: %d\n", static_cast<unsigned long long>(usage), n);
+
+  const std::uint64_t critical = with_pruning.critical_usage();
+  const std::uint64_t prune_max = with_pruning.prune_usage_max();
+  std::printf(
+      "\npruning rule: remove usage <= %llu without a neighbour of usage >= "
+      "%llu\n",
+      static_cast<unsigned long long>(prune_max),
+      static_cast<unsigned long long>(critical));
+  std::printf("pruned %d of %d flip-flops (%.1f%%), %d candidates remain\n",
+              res.pruned_count, pc.graph.num_ffs,
+              100.0 * res.pruned_count / pc.graph.num_ffs,
+              pc.graph.num_ffs - res.pruned_count);
+
+  // A Fig.-4-style neighbourhood listing for the surviving candidates.
+  std::printf("\nsurviving nodes (ff: usage | neighbour usages):\n");
+  int shown = 0;
+  for (int f = 0; f < pc.graph.num_ffs && shown < 12; ++f) {
+    const auto fs = static_cast<std::size_t>(f);
+    if (!res.kept_after_prune[fs] || res.step1_usage[fs] == 0) continue;
+    std::printf("  ff%-5d %6llu |", f,
+                static_cast<unsigned long long>(res.step1_usage[fs]));
+    for (int e : pc.graph.arcs_of_ff[fs]) {
+      const ssta::SeqArc& arc = pc.graph.arcs[static_cast<std::size_t>(e)];
+      const int other = arc.src_ff == f ? arc.dst_ff : arc.src_ff;
+      if (other != f)
+        std::printf(" %llu",
+                    static_cast<unsigned long long>(
+                        res.step1_usage[static_cast<std::size_t>(other)]));
+    }
+    std::printf("\n");
+    ++shown;
+  }
+
+  // Runtime effect: the same run with pruning disabled.
+  core::InsertionConfig no_pruning = cfg.insertion();
+  no_pruning.enable_pruning = false;
+  util::Stopwatch sw_off;
+  core::BufferInsertionEngine engine_off(pc.design, pc.graph, t, no_pruning);
+  const core::InsertionResult res_off = engine_off.run();
+  const double secs_off = sw_off.seconds();
+  std::printf(
+      "\nruntime with pruning: %.2f s, without: %.2f s (%d vs %d final "
+      "buffers)\n",
+      secs_on, secs_off, res.plan.physical_buffers(),
+      res_off.plan.physical_buffers());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

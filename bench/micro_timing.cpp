@@ -1,0 +1,68 @@
+// Microbenchmarks of the timing substrate: sequential-graph extraction,
+// per-sample arc evaluation, period Monte-Carlo and yield checking.
+#include <benchmark/benchmark.h>
+
+#include "feas/yield_eval.h"
+#include "mc/period_mc.h"
+#include "mc/sampler.h"
+#include "netlist/generator.h"
+#include "ssta/seq_graph.h"
+
+namespace {
+
+using namespace clktune;
+
+netlist::Design make_design(int ns, int ng) {
+  netlist::SyntheticSpec spec;
+  spec.num_flipflops = ns;
+  spec.num_gates = ng;
+  spec.seed = 21;
+  return netlist::generate(spec);
+}
+
+void BM_SeqGraphExtraction(benchmark::State& state) {
+  const netlist::Design design = make_design(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) * 8);
+  for (auto _ : state) {
+    const ssta::SeqGraph g = ssta::extract_seq_graph(design);
+    benchmark::DoNotOptimize(g.arcs.size());
+  }
+}
+BENCHMARK(BM_SeqGraphExtraction)->Arg(200)->Arg(1000);
+
+void BM_ArcSampleEvaluation(benchmark::State& state) {
+  static const netlist::Design design = make_design(500, 4000);
+  static const ssta::SeqGraph graph = ssta::extract_seq_graph(design);
+  const mc::Sampler sampler(graph, 3);
+  mc::ArcSample arcs;
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    sampler.evaluate(k++, arcs);
+    benchmark::DoNotOptimize(arcs.dmax.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.arcs.size()));
+}
+BENCHMARK(BM_ArcSampleEvaluation);
+
+void BM_YieldCheckPerSample(benchmark::State& state) {
+  static const netlist::Design design = make_design(500, 4000);
+  static const ssta::SeqGraph graph = ssta::extract_seq_graph(design);
+  const mc::Sampler sampler(graph, 3);
+  const mc::PeriodStats ps = mc::sample_min_period(sampler, 500);
+  feas::TuningPlan plan;
+  plan.step_ps = ps.mu() / 160.0;
+  for (int f = 0; f < 8; ++f)
+    plan.buffers.push_back(feas::BufferWindow{f * 10, -10, 10});
+  plan.reset_groups();
+  const feas::YieldEvaluator eval(graph, plan, ps.mu());
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.sample_feasible(sampler, k++));
+  }
+}
+BENCHMARK(BM_YieldCheckPerSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

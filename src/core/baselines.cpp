@@ -1,0 +1,79 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace clktune::core {
+
+feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
+                                        const mc::Sampler& sampler,
+                                        double clock_period_ps,
+                                        std::uint64_t samples, int k,
+                                        int steps, double step_ps,
+                                        int threads) {
+  const std::size_t workers = util::resolve_thread_count(
+      threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  std::vector<std::vector<std::uint64_t>> partial(
+      workers,
+      std::vector<std::uint64_t>(static_cast<std::size_t>(graph.num_ffs), 0));
+
+  util::parallel_chunks(
+      static_cast<std::size_t>(samples), workers,
+      [&](std::size_t w, std::size_t begin, std::size_t end) {
+        mc::ArcSample arcs;
+        for (std::size_t s = begin; s < end; ++s) {
+          sampler.evaluate(s, arcs);
+          for (std::size_t e = 0; e < graph.arcs.size(); ++e) {
+            const ssta::SeqArc& arc = graph.arcs[e];
+            const auto i = static_cast<std::size_t>(arc.src_ff);
+            const auto j = static_cast<std::size_t>(arc.dst_ff);
+            const double slack = clock_period_ps - graph.setup_ps[j] -
+                                 arcs.dmax[e] + graph.skew_ps[j] -
+                                 graph.skew_ps[i];
+            if (slack < 0.0) {
+              ++partial[w][i];
+              if (i != j) ++partial[w][j];
+            }
+          }
+        }
+      });
+
+  std::vector<std::uint64_t> incidence(static_cast<std::size_t>(graph.num_ffs),
+                                       0);
+  for (const auto& p : partial)
+    for (std::size_t f = 0; f < incidence.size(); ++f) incidence[f] += p[f];
+
+  std::vector<int> order(static_cast<std::size_t>(graph.num_ffs));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return incidence[static_cast<std::size_t>(a)] >
+           incidence[static_cast<std::size_t>(b)];
+  });
+
+  feas::TuningPlan plan;
+  plan.step_ps = step_ps;
+  const int half = steps / 2;
+  for (int i = 0; i < k && i < graph.num_ffs; ++i) {
+    const int ff = order[static_cast<std::size_t>(i)];
+    if (incidence[static_cast<std::size_t>(ff)] == 0) break;
+    plan.buffers.push_back(feas::BufferWindow{ff, -half, half});
+  }
+  plan.reset_groups();
+  return plan;
+}
+
+feas::TuningPlan oracle_plan(const ssta::SeqGraph& graph, int steps,
+                             double step_ps) {
+  feas::TuningPlan plan;
+  plan.step_ps = step_ps;
+  const int half = steps / 2;
+  for (int f = 0; f < graph.num_ffs; ++f)
+    plan.buffers.push_back(feas::BufferWindow{f, -half, half});
+  plan.reset_groups();
+  return plan;
+}
+
+}  // namespace clktune::core

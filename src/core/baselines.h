@@ -1,0 +1,34 @@
+// Baseline insertion policies the proposed flow is compared against.
+//
+//  * top_k_criticality_plan — statistical criticality ranking with
+//    symmetric windows, standing in for symmetric-range post-silicon-tunable
+//    clock-tree methods in the spirit of Tsai et al. [2] (whose
+//    implementation is not public).  Same buffer budget, no asymmetric
+//    windows, no concentration, no grouping.
+//  * oracle_plan — a tuning buffer with a full symmetric window on every
+//    flip-flop: an upper bound on what clock tuning can possibly achieve.
+#pragma once
+
+#include <cstdint>
+
+#include "feas/tuning_plan.h"
+#include "mc/sampler.h"
+#include "ssta/seq_graph.h"
+
+namespace clktune::core {
+
+/// Ranks flip-flops by how often they are incident to a failing arc at
+/// x = 0 over `samples` Monte-Carlo chips, then buffers the top `k` with
+/// symmetric windows of +-steps/2.
+feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
+                                        const mc::Sampler& sampler,
+                                        double clock_period_ps,
+                                        std::uint64_t samples, int k,
+                                        int steps, double step_ps,
+                                        int threads = 0);
+
+/// Buffers on every flip-flop, symmetric +-steps/2 windows.
+feas::TuningPlan oracle_plan(const ssta::SeqGraph& graph, int steps,
+                             double step_ps);
+
+}  // namespace clktune::core

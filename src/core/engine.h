@@ -1,0 +1,109 @@
+// BufferInsertionEngine: the paper's complete flow (Fig. 3).
+//
+//   step 1  (III-A)  floating lower bounds: per-sample minimise buffer
+//                    count, concentrate tunings toward zero, prune rarely
+//                    used buffers, assign each kept buffer a range window
+//                    by sliding-window coverage maximisation;
+//   step 2  (III-B)  fixed lower bounds: re-simulate (skippable by the
+//                    0.1 % rule), concentrate tunings toward the average,
+//                    derive final reduced ranges from min/max tunings;
+//   step 3  (III-C)  group buffers by tuning correlation and Manhattan
+//                    distance; optionally cap the physical buffer count.
+//
+// The output TuningPlan carries the *reduced* ranges (Fig. 5c), which is
+// what the yield evaluator measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/insertion_config.h"
+#include "feas/tuning_plan.h"
+#include "netlist/netlist.h"
+#include "ssta/seq_graph.h"
+#include "util/histogram.h"
+
+namespace clktune::core {
+
+struct BufferInfo {
+  int ff = 0;
+  /// Assigned range window (III-A4), always covering 0.
+  int window_lo = 0, window_hi = 0;
+  /// Final reduced range (min/max tuning, extended to cover the resting
+  /// value 0 when inside the window).
+  int range_lo = 0, range_hi = 0;
+  std::uint64_t usage_step1 = 0;  ///< samples adjusting this buffer, step 1
+  std::uint64_t usage_final = 0;  ///< samples adjusting it in step 2
+  double avg_k = 0.0;             ///< x_avg,i in step units
+  int group = -1;                 ///< physical buffer id after grouping
+};
+
+struct PhaseDiagnostics {
+  double seconds = 0.0;
+  std::uint64_t samples_with_violations = 0;
+  std::uint64_t unfixable_samples = 0;
+  std::uint64_t milps_solved = 0;
+  std::uint64_t milp_nodes = 0;
+  std::uint64_t truncated_milps = 0;
+  std::uint64_t lazy_rounds = 0;
+
+  void merge(const PhaseDiagnostics& o) {
+    samples_with_violations += o.samples_with_violations;
+    unfixable_samples += o.unfixable_samples;
+    milps_solved += o.milps_solved;
+    milp_nodes += o.milp_nodes;
+    truncated_milps += o.truncated_milps;
+    lazy_rounds += o.lazy_rounds;
+  }
+};
+
+struct InsertionResult {
+  feas::TuningPlan plan;            ///< final buffers, ranges and groups
+  std::vector<BufferInfo> buffers;  ///< aligned with plan.buffers
+  double step_ps = 0.0;
+  double tau_ps = 0.0;  ///< maximum window width (paper: T_nominal / 8)
+  double clock_period_ps = 0.0;
+
+  PhaseDiagnostics step1, step2a, step2b;
+  bool step2a_skipped = false;
+  double out_of_window_fraction = 0.0;
+  double total_seconds = 0.0;
+
+  /// Per-FF usage counts after step 1 (Fig. 4's node numbers).
+  std::vector<std::uint64_t> step1_usage;
+  /// Survivors of the pruning rule.
+  std::vector<char> kept_after_prune;
+  int pruned_count = 0;
+
+  /// Tuning-value histograms of Fig. 5 per flip-flop: (a) after count
+  /// minimisation, (b) after concentration toward zero, (c) after step-2
+  /// concentration toward the average.
+  std::vector<util::IntHistogram> hist_step1_min;
+  std::vector<util::IntHistogram> hist_step1_conc;
+  std::vector<util::IntHistogram> hist_step2;
+
+  /// Pairwise tuning correlation over plan.buffers (step-3 input).
+  std::vector<std::vector<double>> correlation;
+};
+
+class BufferInsertionEngine {
+ public:
+  BufferInsertionEngine(const netlist::Design& design,
+                        const ssta::SeqGraph& graph, double clock_period_ps,
+                        InsertionConfig config);
+
+  InsertionResult run();
+
+  double tau_ps() const { return tau_ps_; }
+  double step_ps() const { return step_ps_; }
+
+ private:
+  const netlist::Design* design_;
+  const ssta::SeqGraph* graph_;
+  double clock_period_;
+  InsertionConfig config_;
+  double tau_ps_ = 0.0;
+  double step_ps_ = 0.0;
+};
+
+}  // namespace clktune::core

@@ -1,0 +1,37 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace clktune::core {
+
+std::string format_row(const TableRow& row) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << row.circuit << " [" << row.setting << ", T=" << row.clock_ps
+     << " ps]: Nb=" << row.nb << " Ab=" << row.ab << " Y=" << row.yield
+     << "% Yi=" << row.improvement() << "% T=" << row.runtime_s << "s";
+  return os.str();
+}
+
+void print_table(std::ostream& os, const std::vector<TableRow>& rows) {
+  os << std::left << std::setw(14) << "Circuit" << std::right << std::setw(6)
+     << "ns" << std::setw(7) << "ng" << std::setw(8) << "setting"
+     << std::setw(10) << "T(ps)" << std::setw(5) << "Nb" << std::setw(8)
+     << "Ab" << std::setw(9) << "Y(%)" << std::setw(9) << "Yi(%)"
+     << std::setw(10) << "T(s)" << "\n";
+  os << std::string(86, '-') << "\n";
+  os << std::fixed;
+  for (const TableRow& r : rows) {
+    os << std::left << std::setw(14) << r.circuit << std::right
+       << std::setw(6) << r.ns << std::setw(7) << r.ng << std::setw(8)
+       << r.setting << std::setw(10) << std::setprecision(1) << r.clock_ps
+       << std::setw(5) << r.nb << std::setw(8) << std::setprecision(2) << r.ab
+       << std::setw(9) << std::setprecision(2) << r.yield << std::setw(9)
+       << std::setprecision(2) << r.improvement() << std::setw(10)
+       << std::setprecision(2) << r.runtime_s << "\n";
+  }
+}
+
+}  // namespace clktune::core

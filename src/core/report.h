@@ -1,0 +1,32 @@
+// Table-I style reporting: one row per (circuit, clock setting) with buffer
+// count Nb, average range Ab, yield Y, improvement Yi and runtime T(s).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace clktune::core {
+
+struct TableRow {
+  std::string circuit;
+  int ns = 0;          ///< flip-flops
+  int ng = 0;          ///< logic gates
+  std::string setting; ///< "muT", "muT+s", "muT+2s"
+  double clock_ps = 0.0;
+  int nb = 0;          ///< physical buffers after grouping
+  double ab = 0.0;     ///< average range (steps)
+  double yield = 0.0;          ///< Y (%)
+  double yield_original = 0.0; ///< Yo (%)
+  double runtime_s = 0.0;
+
+  double improvement() const { return yield - yield_original; }
+};
+
+/// Prints the Table-I header followed by the rows, grouped by circuit.
+void print_table(std::ostream& os, const std::vector<TableRow>& rows);
+
+/// One-line render of a row (used in logs).
+std::string format_row(const TableRow& row);
+
+}  // namespace clktune::core

@@ -1,0 +1,99 @@
+// Per-sample ILP machinery: given one Monte-Carlo chip, find the minimum
+// number of adjusted buffers (problem (8)-(13) / (III-B1)) and then
+// concentrate tuning values (problems (14)-(17) and (18)-(21)).
+//
+// Two implementation devices keep 10 000-sample runs tractable without
+// changing the optima:
+//
+//  * Lazy constraint generation.  The ILP starts from the violated arcs
+//    only; the solved assignment is verified against every arc incident to
+//    its support and newly violated arcs are added until the solution is
+//    globally feasible.  Because the working model is always a relaxation
+//    of the full model, the final solution is optimal for the full model.
+//
+//  * Greedy warm starts.  A difference-constraint feasibility oracle
+//    (Bellman-Ford) grows a buffer set greedily; the resulting incumbent
+//    lets branch & bound prune aggressively from the first node.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mc/sampler.h"
+#include "milp/branch_and_bound.h"
+#include "ssta/seq_graph.h"
+
+namespace clktune::core {
+
+/// Candidate buffers and their discrete windows, indexed by flip-flop.
+struct CandidateWindows {
+  /// k_lo/k_hi in step units; entries only meaningful where candidate.
+  std::vector<int> k_lo, k_hi;
+  std::vector<char> candidate;
+
+  static CandidateWindows floating(int num_ffs, int steps);
+  static CandidateWindows none(int num_ffs);
+
+  int count() const {
+    int n = 0;
+    for (char c : candidate) n += c != 0;
+    return n;
+  }
+};
+
+enum class ConcentrateMode {
+  none,          ///< stop after minimising the buffer count
+  toward_zero,   ///< III-A3: minimise sum |x_i|
+  toward_target  ///< III-B2: minimise sum |x_i - x_avg,i|
+};
+
+struct SampleSolution {
+  /// False when the chip cannot meet timing even with every candidate
+  /// buffer at full freedom (or a non-candidate arc fails outright).
+  bool fixable = true;
+  /// Minimum number of adjusted buffers n_k (0 when the chip passes as-is).
+  int nk = 0;
+  /// Non-zero tunings (ff, k in steps) of the final assignment.
+  std::vector<std::pair<int, int>> tunings;
+  /// Non-zero tunings right after the count-minimisation phase, before any
+  /// concentration (the scattered values of Fig. 5a).
+  std::vector<std::pair<int, int>> mincount_tunings;
+  // Diagnostics.
+  long milp_nodes = 0;
+  int lazy_rounds = 0;
+  int milps_solved = 0;
+  bool truncated = false;  ///< a branch & bound hit its node limit
+};
+
+class SampleSolver {
+ public:
+  SampleSolver(const ssta::SeqGraph& graph, double step_ps,
+               double clock_period_ps, CandidateWindows windows,
+               long milp_max_nodes = 50000);
+
+  /// Solves one sample.  `targets` (step units, indexed by ff) is required
+  /// for ConcentrateMode::toward_target.
+  SampleSolution solve(const mc::ArcSample& arc_sample, ConcentrateMode mode,
+                       const std::vector<double>* targets = nullptr) const;
+
+  /// Integer constraint constants for sample arcs (exposed for tests):
+  /// setup:  x_i - x_j <= setup_steps[e];  hold:  x_j - x_i <= hold_steps[e].
+  void arc_constants(const mc::ArcSample& arc_sample,
+                     std::vector<std::int64_t>& setup_steps,
+                     std::vector<std::int64_t>& hold_steps) const;
+
+  const CandidateWindows& windows() const { return windows_; }
+  double step_ps() const { return step_ps_; }
+
+ private:
+  struct WorkingModel;
+
+  const ssta::SeqGraph* graph_;
+  double step_ps_;
+  double clock_period_;
+  CandidateWindows windows_;
+  long milp_max_nodes_;
+};
+
+}  // namespace clktune::core

@@ -1,0 +1,50 @@
+// Difference-constraint feasibility via Bellman-Ford negative-cycle
+// detection.
+//
+// A system of constraints  x_u - x_v <= w  is feasible iff its constraint
+// graph (edge v -> u with weight w) has no negative cycle; shortest-path
+// potentials then give a concrete solution.  With integer weights the
+// constraint matrix is totally unimodular, so integer-feasible solutions
+// exist whenever real ones do — which is why flooring the timing constants
+// to the buffer-step grid preserves exactness for the discrete tunings.
+//
+// Used for (a) yield evaluation of an inserted-buffer plan (does chip k have
+// a feasible configuration?), (b) greedy warm starts for the per-sample
+// ILPs, and (c) post-silicon configuration extraction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace clktune::feas {
+
+class DiffConstraints {
+ public:
+  explicit DiffConstraints(int num_nodes) : head_(num_nodes, -1) {}
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+  /// Adds constraint x_u - x_v <= w.
+  void add(int u, int v, std::int64_t w);
+
+  /// True iff the system admits a solution.
+  bool feasible() const { return solve().has_value(); }
+
+  /// Shortest-path potentials (a concrete solution), or nullopt when
+  /// infeasible.  All-zero start vector, so an all-zero solution is returned
+  /// when every constraint already holds at 0.
+  std::optional<std::vector<std::int64_t>> solve() const;
+
+ private:
+  struct Edge {
+    int to = 0;
+    std::int64_t weight = 0;
+    int next = -1;
+  };
+  // Adjacency: edge (v -> u, w) per constraint x_u - x_v <= w.
+  std::vector<int> head_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace clktune::feas

@@ -1,0 +1,131 @@
+#include "feas/yield_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "feas/diff_constraints.h"
+#include "util/assert.h"
+#include "util/thread_pool.h"
+
+namespace clktune::feas {
+namespace {
+
+std::int64_t floor_steps(double value_ps, double step_ps) {
+  return static_cast<std::int64_t>(std::floor(value_ps / step_ps + 1e-9));
+}
+
+}  // namespace
+
+YieldEvaluator::YieldEvaluator(const ssta::SeqGraph& graph, TuningPlan plan,
+                               double clock_period_ps)
+    : graph_(&graph), plan_(std::move(plan)), clock_period_(clock_period_ps) {
+  CLKTUNE_EXPECTS(clock_period_ps > 0.0);
+  if (plan_.group_of.size() != plan_.buffers.size()) plan_.reset_groups();
+  var_of_ff_.assign(static_cast<std::size_t>(graph.num_ffs), -1);
+  for (std::size_t i = 0; i < plan_.buffers.size(); ++i) {
+    const int ff = plan_.buffers[i].ff;
+    CLKTUNE_EXPECTS(ff >= 0 && ff < graph.num_ffs);
+    var_of_ff_[static_cast<std::size_t>(ff)] = plan_.group_of[i];
+  }
+  group_windows_.clear();
+  for (int g = 0; g < plan_.num_groups; ++g)
+    group_windows_.push_back(plan_.group_window(g));
+}
+
+std::optional<std::vector<std::int64_t>> YieldEvaluator::solve_sample(
+    const mc::Sampler& sampler, std::uint64_t k) const {
+  const ssta::SeqGraph& graph = *graph_;
+  thread_local mc::ArcSample arc_sample;
+  sampler.evaluate(k, arc_sample);
+
+  const double step = plan_.step_ps;
+  const int ref = plan_.num_groups;  // reference node (x = 0)
+  DiffConstraints system(plan_.num_groups + 1);
+
+  // Window bounds vs the reference node.
+  for (int g = 0; g < plan_.num_groups; ++g) {
+    system.add(g, ref, group_windows_[static_cast<std::size_t>(g)].k_hi);
+    system.add(ref, g, -group_windows_[static_cast<std::size_t>(g)].k_lo);
+  }
+
+  for (std::size_t e = 0; e < graph.arcs.size(); ++e) {
+    const ssta::SeqArc& arc = graph.arcs[e];
+    const auto i = static_cast<std::size_t>(arc.src_ff);
+    const auto j = static_cast<std::size_t>(arc.dst_ff);
+    // Setup:  x_i - x_j <= T - s_j - dmax + q_j - q_i
+    const double setup_c = clock_period_ - graph.setup_ps[j] -
+                           arc_sample.dmax[e] + graph.skew_ps[j] -
+                           graph.skew_ps[i];
+    // Hold:   x_j - x_i <= dmin - h_j + q_i - q_j
+    const double hold_c = arc_sample.dmin[e] - graph.hold_ps[j] +
+                          graph.skew_ps[i] - graph.skew_ps[j];
+    const int vi = var_of_ff_[i];
+    const int vj = var_of_ff_[j];
+    const int ui = vi < 0 ? ref : vi;
+    const int uj = vj < 0 ? ref : vj;
+    if (ui == uj) {
+      // Same variable (or both unbuffered): tuning cancels.
+      if (setup_c < 0.0 || hold_c < 0.0) return std::nullopt;
+      continue;
+    }
+    system.add(ui, uj, floor_steps(setup_c, step));
+    system.add(uj, ui, floor_steps(hold_c, step));
+  }
+
+  auto potentials = system.solve();
+  if (!potentials.has_value()) return std::nullopt;
+  // Normalise so the reference node sits at zero.
+  const std::int64_t base = (*potentials)[static_cast<std::size_t>(ref)];
+  for (std::int64_t& p : *potentials) p -= base;
+  return potentials;
+}
+
+bool YieldEvaluator::sample_feasible(const mc::Sampler& sampler,
+                                     std::uint64_t k) const {
+  return solve_sample(sampler, k).has_value();
+}
+
+std::optional<std::vector<int>> YieldEvaluator::find_configuration(
+    const mc::Sampler& sampler, std::uint64_t k) const {
+  auto potentials = solve_sample(sampler, k);
+  if (!potentials.has_value()) return std::nullopt;
+  std::vector<int> config(static_cast<std::size_t>(plan_.num_groups));
+  for (int g = 0; g < plan_.num_groups; ++g)
+    config[static_cast<std::size_t>(g)] =
+        static_cast<int>((*potentials)[static_cast<std::size_t>(g)]);
+  return config;
+}
+
+YieldResult YieldEvaluator::evaluate(const mc::Sampler& sampler,
+                                     std::uint64_t samples,
+                                     int threads) const {
+  const std::size_t workers = util::resolve_thread_count(
+      threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  std::vector<std::uint64_t> passing(workers, 0);
+  util::parallel_chunks(static_cast<std::size_t>(samples), workers,
+                        [&](std::size_t w, std::size_t begin, std::size_t end) {
+                          for (std::size_t k = begin; k < end; ++k)
+                            passing[w] += sample_feasible(sampler, k) ? 1 : 0;
+                        });
+  YieldResult result;
+  result.samples = samples;
+  for (std::uint64_t p : passing) result.passing += p;
+  result.yield = samples == 0
+                     ? 0.0
+                     : static_cast<double>(result.passing) /
+                           static_cast<double>(samples);
+  result.ci95 = util::yield_ci95(result.yield, samples);
+  return result;
+}
+
+YieldResult original_yield(const ssta::SeqGraph& graph, double clock_period_ps,
+                           const mc::Sampler& sampler, std::uint64_t samples,
+                           int threads) {
+  TuningPlan empty;
+  empty.step_ps = 1.0;
+  empty.reset_groups();
+  const YieldEvaluator eval(graph, std::move(empty), clock_period_ps);
+  return eval.evaluate(sampler, samples, threads);
+}
+
+}  // namespace clktune::feas

@@ -1,0 +1,69 @@
+// Yield evaluation of a tuning plan: a chip (Monte-Carlo sample) passes when
+// a feasible assignment of discrete buffer delays exists that meets all
+// setup and hold constraints at clock period T.
+//
+// With a fixed plan this is a pure feasibility question over difference
+// constraints (buffered flip-flops are variables, everything else is pinned
+// to zero, windows become bounds against a reference node), solved per
+// sample by Bellman-Ford on grid-floored constants.  Evaluation uses its own
+// seed so reported yields are out-of-sample relative to the insertion run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "feas/tuning_plan.h"
+#include "mc/sampler.h"
+#include "ssta/seq_graph.h"
+#include "util/stats.h"
+
+namespace clktune::feas {
+
+struct YieldResult {
+  double yield = 0.0;
+  double ci95 = 0.0;  ///< 95 % confidence half-width
+  std::uint64_t passing = 0;
+  std::uint64_t samples = 0;
+};
+
+class YieldEvaluator {
+ public:
+  YieldEvaluator(const ssta::SeqGraph& graph, TuningPlan plan,
+                 double clock_period_ps);
+
+  /// Does sample k (drawn via `sampler`) admit a feasible configuration?
+  bool sample_feasible(const mc::Sampler& sampler, std::uint64_t k) const;
+
+  /// Buffer configuration (delay steps per physical group) for sample k, or
+  /// nullopt when the chip cannot be rescued.  This is the post-silicon
+  /// "testing and configuration" step the paper lists as future work.
+  std::optional<std::vector<int>> find_configuration(
+      const mc::Sampler& sampler, std::uint64_t k) const;
+
+  /// Yield over `samples` Monte-Carlo chips.
+  YieldResult evaluate(const mc::Sampler& sampler, std::uint64_t samples,
+                       int threads = 0) const;
+
+  const TuningPlan& plan() const { return plan_; }
+  double clock_period_ps() const { return clock_period_; }
+
+ private:
+  std::optional<std::vector<std::int64_t>> solve_sample(
+      const mc::Sampler& sampler, std::uint64_t k) const;
+
+  const ssta::SeqGraph* graph_;
+  TuningPlan plan_;
+  double clock_period_;
+  /// Group variable per FF; -1 when the FF has no buffer.
+  std::vector<int> var_of_ff_;
+  /// Per-group window (union of members).
+  std::vector<BufferWindow> group_windows_;
+};
+
+/// Yield with no buffers at all (the paper's Yo).
+YieldResult original_yield(const ssta::SeqGraph& graph, double clock_period_ps,
+                           const mc::Sampler& sampler, std::uint64_t samples,
+                           int threads = 0);
+
+}  // namespace clktune::feas

@@ -1,0 +1,381 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace clktune::lp {
+namespace {
+
+enum class VarStatus : unsigned char { basic, at_lower, at_upper, free_zero };
+
+// Internal solver state.  Column layout: structurals [0, n), slacks
+// [n, n+m), artificials [n+m, n+2m).  The tableau holds B^-1 * A for all
+// columns; `value` holds the current value of every variable.
+class Simplex {
+ public:
+  Simplex(const Model& model, const SimplexOptions& options)
+      : model_(model), opt_(options) {}
+
+  Solution run() {
+    build();
+    Solution sol;
+    // Phase 1: minimise the sum of artificial variables.
+    Status s = iterate(phase1_cost_);
+    sol.iterations = iterations_;
+    if (s == Status::iteration_limit) {
+      sol.status = s;
+      return sol;
+    }
+    if (phase_objective(phase1_cost_) > opt_.feasibility_tolerance) {
+      sol.status = Status::infeasible;
+      return sol;
+    }
+    pivot_out_artificials();
+    freeze_artificials();
+    // Phase 2: original objective.
+    s = iterate(phase2_cost_);
+    sol.iterations = iterations_;
+    sol.status = s;
+    if (s == Status::optimal) {
+      sol.x.assign(value_.begin(), value_.begin() + n_);
+      sol.objective = model_.objective_value(sol.x);
+    }
+    return sol;
+  }
+
+ private:
+  std::size_t cols() const { return static_cast<std::size_t>(n_ + 2 * m_); }
+  double& tab(int row, int col) {
+    return tableau_[static_cast<std::size_t>(row) * cols() +
+                    static_cast<std::size_t>(col)];
+  }
+  double tab(int row, int col) const {
+    return tableau_[static_cast<std::size_t>(row) * cols() +
+                    static_cast<std::size_t>(col)];
+  }
+
+  void build() {
+    n_ = model_.num_variables();
+    m_ = model_.num_rows();
+    const int total = n_ + 2 * m_;
+    lower_.assign(static_cast<std::size_t>(total), 0.0);
+    upper_.assign(static_cast<std::size_t>(total), 0.0);
+    value_.assign(static_cast<std::size_t>(total), 0.0);
+    status_.assign(static_cast<std::size_t>(total), VarStatus::at_lower);
+    phase1_cost_.assign(static_cast<std::size_t>(total), 0.0);
+    phase2_cost_.assign(static_cast<std::size_t>(total), 0.0);
+    tableau_.assign(static_cast<std::size_t>(m_) * cols(), 0.0);
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+
+    for (int j = 0; j < n_; ++j) {
+      lower_[static_cast<std::size_t>(j)] = model_.lower(j);
+      upper_[static_cast<std::size_t>(j)] = model_.upper(j);
+      phase2_cost_[static_cast<std::size_t>(j)] = model_.cost(j);
+      init_nonbasic(j);
+    }
+    // Slack variable bounds encode the row sense:  a'x + s = b.
+    for (int i = 0; i < m_; ++i) {
+      const int sj = n_ + i;
+      const Row& row = model_.rows()[static_cast<std::size_t>(i)];
+      switch (row.sense) {
+        case Sense::less_equal:
+          lower_[static_cast<std::size_t>(sj)] = 0.0;
+          upper_[static_cast<std::size_t>(sj)] = kInf;
+          break;
+        case Sense::greater_equal:
+          lower_[static_cast<std::size_t>(sj)] = -kInf;
+          upper_[static_cast<std::size_t>(sj)] = 0.0;
+          break;
+        case Sense::equal:
+          lower_[static_cast<std::size_t>(sj)] = 0.0;
+          upper_[static_cast<std::size_t>(sj)] = 0.0;
+          break;
+      }
+      init_nonbasic(sj);
+    }
+    // Residuals at the initial nonbasic point decide artificial signs.
+    for (int i = 0; i < m_; ++i) {
+      const Row& row = model_.rows()[static_cast<std::size_t>(i)];
+      double activity = value_[static_cast<std::size_t>(n_ + i)];  // slack
+      for (const Coefficient& cf : row.coefficients)
+        activity += cf.value * value_[static_cast<std::size_t>(cf.var)];
+      const double residual = row.rhs - activity;
+      const double sign = residual >= 0.0 ? 1.0 : -1.0;
+      // Tableau row = sign * original row (so the artificial column is +1).
+      for (const Coefficient& cf : row.coefficients)
+        tab(i, cf.var) += sign * cf.value;
+      tab(i, n_ + i) = sign;          // slack column
+      const int aj = n_ + m_ + i;     // artificial column
+      tab(i, aj) = 1.0;
+      lower_[static_cast<std::size_t>(aj)] = 0.0;
+      upper_[static_cast<std::size_t>(aj)] = kInf;
+      value_[static_cast<std::size_t>(aj)] = std::abs(residual);
+      status_[static_cast<std::size_t>(aj)] = VarStatus::basic;
+      phase1_cost_[static_cast<std::size_t>(aj)] = 1.0;
+      basis_[static_cast<std::size_t>(i)] = aj;
+    }
+  }
+
+  void init_nonbasic(int j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (std::isfinite(lower_[js])) {
+      status_[js] = VarStatus::at_lower;
+      value_[js] = lower_[js];
+    } else if (std::isfinite(upper_[js])) {
+      status_[js] = VarStatus::at_upper;
+      value_[js] = upper_[js];
+    } else {
+      status_[js] = VarStatus::free_zero;
+      value_[js] = 0.0;
+    }
+  }
+
+  double phase_objective(const std::vector<double>& cost) const {
+    double obj = 0.0;
+    for (std::size_t j = 0; j < cost.size(); ++j) obj += cost[j] * value_[j];
+    return obj;
+  }
+
+  // Reduced costs d_j = c_j - c_B' * (B^-1 A_j), recomputed from scratch each
+  // iteration.  O(m * cols) per iteration keeps the code simple and immune to
+  // drift; model sizes here make this affordable.
+  void compute_reduced_costs(const std::vector<double>& cost) {
+    reduced_.assign(cols(), 0.0);
+    multipliers_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i)
+      multipliers_[static_cast<std::size_t>(i)] =
+          cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+    for (std::size_t j = 0; j < cols(); ++j) {
+      if (status_[j] == VarStatus::basic) continue;
+      double d = cost[j];
+      for (int i = 0; i < m_; ++i)
+        d -= multipliers_[static_cast<std::size_t>(i)] *
+             tab(i, static_cast<int>(j));
+      reduced_[j] = d;
+    }
+  }
+
+  bool eligible_entering(std::size_t j, double d) const {
+    switch (status_[j]) {
+      case VarStatus::at_lower:
+        return d < -opt_.cost_tolerance;
+      case VarStatus::at_upper:
+        return d > opt_.cost_tolerance;
+      case VarStatus::free_zero:
+        return std::abs(d) > opt_.cost_tolerance;
+      case VarStatus::basic:
+        return false;
+    }
+    return false;
+  }
+
+  Status iterate(const std::vector<double>& cost) {
+    int stall = 0;
+    while (true) {
+      if (++iterations_ > opt_.iteration_limit)
+        return Status::iteration_limit;
+      compute_reduced_costs(cost);
+
+      const bool bland = stall >= opt_.stall_threshold;
+      int enter = -1;
+      double best_score = 0.0;
+      for (std::size_t j = 0; j < cols(); ++j) {
+        if (!eligible_entering(j, reduced_[j])) continue;
+        if (bland) {
+          enter = static_cast<int>(j);
+          break;
+        }
+        const double score = std::abs(reduced_[j]);
+        if (score > best_score) {
+          best_score = score;
+          enter = static_cast<int>(j);
+        }
+      }
+      if (enter < 0) return Status::optimal;
+
+      const auto ej = static_cast<std::size_t>(enter);
+      const double d = reduced_[ej];
+      // Direction of change for the entering variable.
+      double dir = 0.0;
+      if (status_[ej] == VarStatus::at_lower)
+        dir = 1.0;
+      else if (status_[ej] == VarStatus::at_upper)
+        dir = -1.0;
+      else
+        dir = d < 0.0 ? 1.0 : -1.0;  // free variable moves downhill
+
+      // Ratio test.
+      double limit = kInf;
+      int leave_row = -1;
+      bool leave_at_upper = false;
+      // Bound flip limit for the entering variable itself.
+      if (std::isfinite(lower_[ej]) && std::isfinite(upper_[ej]))
+        limit = upper_[ej] - lower_[ej];
+      for (int i = 0; i < m_; ++i) {
+        const double alpha = tab(i, enter);
+        const double rate = -alpha * dir;  // d(basic_i)/dt
+        if (std::abs(rate) <= opt_.pivot_tolerance) continue;
+        const int bv = basis_[static_cast<std::size_t>(i)];
+        const auto bs = static_cast<std::size_t>(bv);
+        double t = kInf;
+        bool hits_upper = false;
+        if (rate > 0.0) {
+          if (std::isfinite(upper_[bs])) {
+            t = (upper_[bs] - value_[bs]) / rate;
+            hits_upper = true;
+          }
+        } else {
+          if (std::isfinite(lower_[bs])) t = (value_[bs] - lower_[bs]) / -rate;
+        }
+        t = std::max(t, 0.0);
+        const bool tie = std::abs(t - limit) <= 1e-12;
+        const bool better =
+            t < limit - 1e-12 ||
+            (tie && leave_row >= 0 &&
+             (bland
+                  ? bv < basis_[static_cast<std::size_t>(leave_row)]
+                  : std::abs(alpha) >
+                        std::abs(tab(leave_row, enter))));
+        if (better || (t < limit && leave_row < 0)) {
+          limit = t;
+          leave_row = i;
+          leave_at_upper = hits_upper;
+        }
+      }
+
+      if (!std::isfinite(limit)) return Status::unbounded;
+      stall = limit <= opt_.feasibility_tolerance ? stall + 1 : 0;
+
+      // Apply the move to all variable values.
+      const double delta = dir * limit;
+      for (int i = 0; i < m_; ++i) {
+        const int bv = basis_[static_cast<std::size_t>(i)];
+        value_[static_cast<std::size_t>(bv)] -= tab(i, enter) * delta;
+      }
+      value_[ej] += delta;
+
+      if (leave_row < 0) {
+        // Bound flip: the entering variable traverses to its other bound.
+        status_[ej] = status_[ej] == VarStatus::at_lower ? VarStatus::at_upper
+                                                         : VarStatus::at_lower;
+        // Snap exactly to the bound to avoid drift.
+        value_[ej] = status_[ej] == VarStatus::at_lower ? lower_[ej] : upper_[ej];
+        continue;
+      }
+
+      // Pivot: entering becomes basic in leave_row.
+      const int leaving = basis_[static_cast<std::size_t>(leave_row)];
+      const auto ls = static_cast<std::size_t>(leaving);
+      status_[ls] = leave_at_upper ? VarStatus::at_upper : VarStatus::at_lower;
+      value_[ls] = leave_at_upper ? upper_[ls] : lower_[ls];
+      status_[ej] = VarStatus::basic;
+      basis_[static_cast<std::size_t>(leave_row)] = enter;
+      gauss_jordan(leave_row, enter);
+    }
+  }
+
+  void gauss_jordan(int pivot_row, int pivot_col) {
+    const double piv = tab(pivot_row, pivot_col);
+    CLKTUNE_ASSERT(std::abs(piv) > opt_.pivot_tolerance);
+    const double inv = 1.0 / piv;
+    for (std::size_t j = 0; j < cols(); ++j) tab(pivot_row, static_cast<int>(j)) *= inv;
+    tab(pivot_row, pivot_col) = 1.0;
+    for (int i = 0; i < m_; ++i) {
+      if (i == pivot_row) continue;
+      const double factor = tab(i, pivot_col);
+      if (std::abs(factor) <= 1e-14) {
+        tab(i, pivot_col) = 0.0;
+        continue;
+      }
+      for (std::size_t j = 0; j < cols(); ++j)
+        tab(i, static_cast<int>(j)) -= factor * tab(pivot_row, static_cast<int>(j));
+      tab(i, pivot_col) = 0.0;
+    }
+  }
+
+  // Drive artificials that linger in the basis (at value ~0 after a feasible
+  // phase 1) out via degenerate pivots where possible.
+  void pivot_out_artificials() {
+    for (int i = 0; i < m_; ++i) {
+      const int bv = basis_[static_cast<std::size_t>(i)];
+      if (bv < n_ + m_) continue;  // not artificial
+      int enter = -1;
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (status_[static_cast<std::size_t>(j)] == VarStatus::basic) continue;
+        if (std::abs(tab(i, j)) > 1e-7) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) continue;  // redundant row; artificial stays pinned at 0
+      const auto ej = static_cast<std::size_t>(enter);
+      const auto bs = static_cast<std::size_t>(bv);
+      // Degenerate pivot: values do not change (artificial is at 0).
+      status_[bs] = VarStatus::at_lower;
+      value_[bs] = 0.0;
+      status_[ej] = VarStatus::basic;
+      basis_[static_cast<std::size_t>(i)] = enter;
+      gauss_jordan(i, enter);
+    }
+  }
+
+  void freeze_artificials() {
+    for (int i = 0; i < m_; ++i) {
+      const auto aj = static_cast<std::size_t>(n_ + m_ + i);
+      lower_[aj] = 0.0;
+      upper_[aj] = 0.0;
+      if (status_[aj] != VarStatus::basic) {
+        status_[aj] = VarStatus::at_lower;
+        value_[aj] = 0.0;
+      }
+    }
+  }
+
+  const Model& model_;
+  SimplexOptions opt_;
+  int n_ = 0, m_ = 0;
+  std::vector<double> tableau_;
+  std::vector<double> lower_, upper_, value_;
+  std::vector<double> phase1_cost_, phase2_cost_;
+  std::vector<double> reduced_, multipliers_;
+  std::vector<VarStatus> status_;
+  std::vector<int> basis_;
+  long iterations_ = 0;
+};
+
+}  // namespace
+
+double Model::infeasibility(std::span<const double> x) const {
+  CLKTUNE_EXPECTS(x.size() == static_cast<std::size_t>(num_variables()));
+  double worst = 0.0;
+  for (int j = 0; j < num_variables(); ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    worst = std::max(worst, lower_[js] - x[js]);
+    worst = std::max(worst, x[js] - upper_[js]);
+  }
+  for (const Row& row : rows_) {
+    double activity = 0.0;
+    for (const Coefficient& cf : row.coefficients)
+      activity += cf.value * x[static_cast<std::size_t>(cf.var)];
+    switch (row.sense) {
+      case Sense::less_equal:
+        worst = std::max(worst, activity - row.rhs);
+        break;
+      case Sense::greater_equal:
+        worst = std::max(worst, row.rhs - activity);
+        break;
+      case Sense::equal:
+        worst = std::max(worst, std::abs(activity - row.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+Solution solve(const Model& model, const SimplexOptions& options) {
+  Simplex simplex(model, options);
+  return simplex.run();
+}
+
+}  // namespace clktune::lp

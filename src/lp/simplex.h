@@ -1,0 +1,42 @@
+// Two-phase primal simplex for bounded variables, dense tableau.
+//
+// Replaces the commercial ILP solver used in the paper (Gurobi [6]) as the LP
+// engine underneath branch & bound.  The per-sample models produced by the
+// insertion flow are small (tens of variables after component reduction), so
+// a dense full-tableau method with Bland anti-cycling is both simple and
+// fast enough; correctness is what matters and is covered by randomized
+// comparison tests against brute force.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace clktune::lp {
+
+enum class Status {
+  optimal,
+  infeasible,
+  unbounded,
+  iteration_limit,
+};
+
+struct Solution {
+  Status status = Status::iteration_limit;
+  double objective = 0.0;
+  std::vector<double> x;  // structural variables only
+  long iterations = 0;
+};
+
+struct SimplexOptions {
+  double pivot_tolerance = 1e-9;
+  double feasibility_tolerance = 1e-7;
+  double cost_tolerance = 1e-9;
+  long iteration_limit = 50000;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  int stall_threshold = 40;
+};
+
+Solution solve(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace clktune::lp

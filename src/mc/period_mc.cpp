@@ -1,0 +1,63 @@
+#include "mc/period_mc.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace clktune::mc {
+
+double sample_period(const Sampler&, const ArcSample& arc_sample,
+                     const ssta::SeqGraph& graph) {
+  double period = 0.0;
+  for (std::size_t e = 0; e < graph.arcs.size(); ++e) {
+    const ssta::SeqArc& arc = graph.arcs[e];
+    const double t = arc_sample.dmax[e] +
+                     graph.setup_ps[static_cast<std::size_t>(arc.dst_ff)] +
+                     graph.skew_ps[static_cast<std::size_t>(arc.src_ff)] -
+                     graph.skew_ps[static_cast<std::size_t>(arc.dst_ff)];
+    period = std::max(period, t);
+  }
+  return period;
+}
+
+PeriodStats sample_min_period(const Sampler& sampler, std::uint64_t samples,
+                              int threads) {
+  const ssta::SeqGraph& graph = sampler.graph();
+  const std::size_t workers = util::resolve_thread_count(
+      threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  std::vector<PeriodStats> partial(workers);
+
+  util::parallel_chunks(
+      static_cast<std::size_t>(samples), workers,
+      [&](std::size_t w, std::size_t begin, std::size_t end) {
+        ArcSample arc_sample;
+        PeriodStats& acc = partial[w];
+        for (std::size_t k = begin; k < end; ++k) {
+          sampler.evaluate(k, arc_sample);
+          acc.period.add(sample_period(sampler, arc_sample, graph));
+          bool hold_fail = false;
+          for (std::size_t e = 0; e < graph.arcs.size() && !hold_fail; ++e) {
+            const ssta::SeqArc& arc = graph.arcs[e];
+            const double margin =
+                arc_sample.dmin[e] -
+                graph.hold_ps[static_cast<std::size_t>(arc.dst_ff)] -
+                graph.skew_ps[static_cast<std::size_t>(arc.dst_ff)] +
+                graph.skew_ps[static_cast<std::size_t>(arc.src_ff)];
+            hold_fail = margin < 0.0;
+          }
+          acc.hold_failures += hold_fail ? 1 : 0;
+          ++acc.samples;
+        }
+      });
+
+  PeriodStats total;
+  for (const PeriodStats& p : partial) {
+    total.period.merge(p.period);
+    total.hold_failures += p.hold_failures;
+    total.samples += p.samples;
+  }
+  return total;
+}
+
+}  // namespace clktune::mc

@@ -1,0 +1,25 @@
+#include "mc/sampler.h"
+
+#include <algorithm>
+
+namespace clktune::mc {
+
+void Sampler::evaluate(std::uint64_t k, ArcSample& out) const {
+  const auto& arcs = graph_->arcs;
+  out.dmax.resize(arcs.size());
+  out.dmin.resize(arcs.size());
+  const std::array<double, ssta::kParams> z = globals(k);
+  for (std::size_t e = 0; e < arcs.size(); ++e) {
+    // One local draw per arc, shared by the late and early delay so their
+    // order is preserved almost surely.
+    const double zloc = rng_.normal(k, 0x10000 + e);
+    double late = arcs[e].dmax.eval(z, zloc);
+    double early = arcs[e].dmin.eval(z, zloc);
+    late = std::max(late, 0.0);
+    early = std::clamp(early, 0.0, late);
+    out.dmax[e] = late;
+    out.dmin[e] = early;
+  }
+}
+
+}  // namespace clktune::mc

@@ -1,0 +1,51 @@
+// Monte-Carlo sampling of manufactured chips.
+//
+// Sample k draws three chip-global parameter deviations (L, tox, Vth) and
+// one local deviation per sequential arc, all through counter-based hashing:
+// the delay of arc e in sample k is a pure function of (seed, k, e), so
+// results are bit-identical across thread counts and evaluation order —
+// a requirement for the deterministic parallel flow.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ssta/seq_graph.h"
+#include "util/rng.h"
+
+namespace clktune::mc {
+
+/// Per-sample realised arc delays and derived constraint constants.
+struct ArcSample {
+  std::vector<double> dmax;
+  std::vector<double> dmin;
+};
+
+class Sampler {
+ public:
+  Sampler(const ssta::SeqGraph& graph, std::uint64_t seed)
+      : graph_(&graph), rng_(seed) {}
+
+  /// Global parameter draws for sample k.
+  std::array<double, ssta::kParams> globals(std::uint64_t k) const {
+    std::array<double, ssta::kParams> z{};
+    for (int p = 0; p < ssta::kParams; ++p)
+      z[static_cast<std::size_t>(p)] =
+          rng_.normal(k, 0x6000 + static_cast<std::uint64_t>(p));
+    return z;
+  }
+
+  /// Fills `out` with every arc's realised late/early delay for sample k.
+  /// Early delays are clamped to [0, dmax].
+  void evaluate(std::uint64_t k, ArcSample& out) const;
+
+  const ssta::SeqGraph& graph() const { return *graph_; }
+  std::uint64_t seed() const { return rng_.seed(); }
+
+ private:
+  const ssta::SeqGraph* graph_;
+  util::CounterRng rng_;
+};
+
+}  // namespace clktune::mc

@@ -1,0 +1,260 @@
+#include "netlist/bench_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace clktune::netlist {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+struct PendingGate {
+  std::string output;
+  std::string op;
+  std::vector<std::string> inputs;
+};
+
+}  // namespace
+
+Design read_bench(std::istream& in, std::string design_name,
+                  CellLibrary library) {
+  Design design;
+  design.name = std::move(design_name);
+  design.library = std::move(library);
+  Netlist& nl = design.netlist;
+
+  std::vector<std::string> input_names, output_names;
+  std::vector<PendingGate> pending;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const std::size_t open = line.find('(');
+      const std::size_t close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open)
+        throw std::runtime_error("bench parse error at line " +
+                                 std::to_string(lineno) + ": " + line);
+      const std::string kw = upper(trim(line.substr(0, open)));
+      const std::string arg = trim(line.substr(open + 1, close - open - 1));
+      if (kw == "INPUT")
+        input_names.push_back(arg);
+      else if (kw == "OUTPUT")
+        output_names.push_back(arg);
+      else
+        throw std::runtime_error("bench parse error at line " +
+                                 std::to_string(lineno) +
+                                 ": unknown directive " + kw);
+      continue;
+    }
+
+    PendingGate g;
+    g.output = trim(line.substr(0, eq));
+    const std::string rhs = trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open)
+      throw std::runtime_error("bench parse error at line " +
+                               std::to_string(lineno) + ": " + line);
+    g.op = upper(trim(rhs.substr(0, open)));
+    std::stringstream args(rhs.substr(open + 1, close - open - 1));
+    std::string tok;
+    while (std::getline(args, tok, ',')) {
+      tok = trim(tok);
+      if (!tok.empty()) g.inputs.push_back(tok);
+    }
+    if (g.inputs.empty())
+      throw std::runtime_error("bench parse error at line " +
+                               std::to_string(lineno) + ": no inputs");
+    pending.push_back(std::move(g));
+  }
+
+  std::unordered_map<std::string, NodeId> ids;
+  for (const std::string& n : input_names)
+    ids.emplace(n, nl.add_primary_input(n));
+  // Declare flip-flops first so forward references resolve.
+  for (const PendingGate& g : pending)
+    if (g.op == "DFF")
+      ids.emplace(g.output,
+                  nl.add_flipflop(design.library.dff_cell(), g.output));
+
+  // Iteratively admit gates whose fanins are all known (bench files may be
+  // in any order).
+  std::vector<bool> done(pending.size(), false);
+  std::size_t remaining = 0;
+  for (const PendingGate& g : pending) remaining += g.op != "DFF" ? 1 : 0;
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const PendingGate& g = pending[i];
+      if (done[i] || g.op == "DFF") continue;
+      bool resolvable = true;
+      std::vector<NodeId> fanins;
+      fanins.reserve(g.inputs.size());
+      for (const std::string& in_name : g.inputs) {
+        const auto it = ids.find(in_name);
+        if (it == ids.end()) {
+          resolvable = false;
+          break;
+        }
+        fanins.push_back(it->second);
+      }
+      if (!resolvable) continue;
+
+      std::string op = g.op;
+      if (op == "BUFF") op = "BUF";
+      if (op == "NOT") op = "INV";
+      // Find a cell of matching arity, cascading if necessary.
+      NodeId out = kNoNode;
+      int cell = design.library.find(
+          g.inputs.size() == 3 && (op == "NAND" || op == "NOR") ? op + "3"
+                                                                : op);
+      if (cell >= 0 &&
+          design.library.cell(cell).num_inputs >=
+              static_cast<int>(fanins.size())) {
+        out = nl.add_gate(cell, g.output, fanins);
+      } else {
+        // Cascade wide AND/OR/NAND/NOR into 2-input trees.
+        std::string base = op;
+        bool invert_last = false;
+        if (op == "NAND") {
+          base = "AND";
+          invert_last = true;
+        } else if (op == "NOR") {
+          base = "OR";
+          invert_last = true;
+        }
+        const int base_cell = design.library.find(base);
+        if (base_cell < 0)
+          throw std::runtime_error("bench: unsupported gate op " + g.op);
+        NodeId acc = fanins[0];
+        for (std::size_t k = 1; k < fanins.size(); ++k) {
+          const bool last = k + 1 == fanins.size();
+          const std::string nm =
+              last && !invert_last ? g.output
+                                   : g.output + "_c" + std::to_string(k);
+          acc = nl.add_gate(base_cell, nm, {acc, fanins[k]});
+        }
+        if (invert_last)
+          acc = nl.add_gate(design.library.find("INV"), g.output, {acc});
+        out = acc;
+      }
+      ids[g.output] = out;
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0)
+    throw std::runtime_error(
+        "bench: unresolved gate inputs (undriven nets or combinational "
+        "cycle)");
+
+  // Attach flip-flop D drivers.
+  for (const PendingGate& g : pending) {
+    if (g.op != "DFF") continue;
+    const auto out_it = ids.find(g.output);
+    const auto in_it = ids.find(g.inputs[0]);
+    if (in_it == ids.end())
+      throw std::runtime_error("bench: DFF input not found: " + g.inputs[0]);
+    nl.set_ff_driver(out_it->second, in_it->second);
+  }
+  for (const std::string& n : output_names) {
+    const auto it = ids.find(n);
+    if (it == ids.end())
+      throw std::runtime_error("bench: OUTPUT refers to unknown net " + n);
+    nl.add_primary_output(n + "_po", it->second);
+  }
+
+  nl.finalize();
+  design.clock_skew_ps.assign(nl.flipflops().size(), 0.0);
+  apply_grid_placement(design);
+  return design;
+}
+
+Design read_bench_file(const std::string& path, CellLibrary library) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return read_bench(in, name, std::move(library));
+}
+
+void write_bench(std::ostream& out, const Design& design) {
+  const Netlist& nl = design.netlist;
+  out << "# " << design.name << " (written by clktune)\n";
+  for (NodeId id : nl.primary_inputs())
+    out << "INPUT(" << nl.node(id).name << ")\n";
+  for (NodeId id : nl.primary_outputs())
+    out << "OUTPUT(" << nl.node(nl.node(id).fanins[0]).name << ")\n";
+  for (NodeId id : nl.flipflops()) {
+    const Node& ff = nl.node(id);
+    CLKTUNE_EXPECTS(!ff.fanins.empty());
+    out << ff.name << " = DFF(" << nl.node(ff.fanins[0]).name << ")\n";
+  }
+  for (NodeId id : nl.topo_gates()) {
+    const Node& g = nl.node(id);
+    out << g.name << " = " << design.library.cell(g.cell).name << "(";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << nl.node(g.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+void apply_grid_placement(Design& design) {
+  const std::size_t n = design.netlist.flipflops().size();
+  design.ff_position.resize(n);
+  const int side = std::max(1, static_cast<int>(std::ceil(std::sqrt(
+                                   static_cast<double>(n)))));
+  for (std::size_t i = 0; i < n; ++i) {
+    design.ff_position[i] =
+        Point{design.ff_pitch * static_cast<double>(static_cast<int>(i) % side),
+              design.ff_pitch * static_cast<double>(static_cast<int>(i) / side)};
+  }
+}
+
+void apply_synthetic_skew(Design& design, double sigma_ps,
+                          std::uint64_t seed) {
+  const std::size_t n = design.netlist.flipflops().size();
+  design.clock_skew_ps.resize(n);
+  const util::CounterRng rng(seed);
+  for (std::size_t i = 0; i < n; ++i)
+    design.clock_skew_ps[i] = sigma_ps * rng.normal(i, 0xC10C);
+}
+
+}  // namespace clktune::netlist

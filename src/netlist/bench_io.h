@@ -1,0 +1,45 @@
+// ISCAS89 ".bench" netlist reader / writer.
+//
+// The paper evaluates ISCAS89 and TAU-2013 circuits; the .bench format is
+// the public interchange format for the former:
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NAND(G0, G1)
+//   G7  = DFF(G14)
+//
+// Gate names are mapped onto the active CellLibrary; n-input AND/OR/NAND/NOR
+// fall back to cascaded 2/3-input cells when the library lacks the exact
+// arity.  A parsed design gets a default grid placement and zero skew; use
+// apply_synthetic_skew() to add the paper's "additional clock skews".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace clktune::netlist {
+
+/// Parses a .bench stream.  Throws std::runtime_error on malformed input.
+Design read_bench(std::istream& in, std::string design_name,
+                  CellLibrary library = CellLibrary::standard());
+
+/// Convenience file overload.
+Design read_bench_file(const std::string& path,
+                       CellLibrary library = CellLibrary::standard());
+
+/// Serialises a netlist back to .bench (placement and skew are not part of
+/// the format and are dropped).
+void write_bench(std::ostream& out, const Design& design);
+
+/// Assigns a default square-grid placement (pitch design.ff_pitch) to all
+/// flip-flops, in flipflop order.
+void apply_grid_placement(Design& design);
+
+/// Adds deterministic per-FF clock skew drawn from N(0, sigma_ps), seeded.
+void apply_synthetic_skew(Design& design, double sigma_ps,
+                          std::uint64_t seed);
+
+}  // namespace clktune::netlist

@@ -1,0 +1,58 @@
+#include "netlist/cell_library.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace clktune::netlist {
+
+double VariationModel::total_sigma() const {
+  double v = local_sigma * local_sigma;
+  for (double s : global_sens) v += s * s;
+  return std::sqrt(v);
+}
+
+int CellLibrary::add_cell(CellType cell) {
+  cells_.push_back(std::move(cell));
+  const int id = static_cast<int>(cells_.size()) - 1;
+  if (cells_.back().name == "DFF") dff_cell_ = id;
+  return id;
+}
+
+namespace {
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+}  // namespace
+
+int CellLibrary::find(std::string_view name) const {
+  for (int i = 0; i < num_cells(); ++i)
+    if (iequals(cells_[static_cast<std::size_t>(i)].name, name)) return i;
+  return -1;
+}
+
+CellLibrary CellLibrary::standard() {
+  CellLibrary lib;
+  // Delays loosely follow a 45 nm-class educational library; min delays are
+  // the fast-corner early arcs used for hold analysis (~0.7x the late arc,
+  // matching hold-padded design practice).
+  lib.add_cell({"INV", 1, 8.0, 5.6, 1.2});
+  lib.add_cell({"BUF", 1, 10.0, 7.0, 1.0});
+  lib.add_cell({"NAND", 2, 12.0, 8.4, 1.4});
+  lib.add_cell({"NOR", 2, 14.0, 9.8, 1.6});
+  lib.add_cell({"AND", 2, 15.0, 10.5, 1.4});
+  lib.add_cell({"OR", 2, 16.0, 11.2, 1.5});
+  lib.add_cell({"XOR", 2, 20.0, 14.0, 1.8});
+  lib.add_cell({"XNOR", 2, 21.0, 14.7, 1.8});
+  lib.add_cell({"NAND3", 3, 16.0, 11.2, 1.6});
+  lib.add_cell({"NOR3", 3, 18.0, 12.6, 1.8});
+  lib.add_cell({"DFF", 1, 22.0, 15.4, 0.0});  // clk->Q delay
+  return lib;
+}
+
+}  // namespace clktune::netlist

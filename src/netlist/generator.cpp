@@ -1,0 +1,363 @@
+#include "netlist/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <vector>
+
+#include "netlist/nominal_sta.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace clktune::netlist {
+namespace {
+
+/// Allocates `total` units across n cones following a log-normal draw with
+/// a floor of `floor_size`, hitting the total exactly (largest-remainder
+/// rounding).  The floor keeps every launch->capture path at least a couple
+/// of gates deep, which is what keeps short paths hold-safe.
+std::vector<int> allocate_cone_sizes(int n, int total, int floor_size,
+                                     double sigma,
+                                     const std::vector<bool>& forced_deep,
+                                     util::SplitMix64& rng) {
+  CLKTUNE_EXPECTS(total >= n);
+  floor_size = std::max(1, std::min(floor_size, total / n));
+  std::vector<double> weight(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double w = std::exp(sigma * rng.next_normal());
+    if (forced_deep[static_cast<std::size_t>(i)]) w *= 8.0;
+    weight[static_cast<std::size_t>(i)] = w;
+  }
+  const double wsum = std::accumulate(weight.begin(), weight.end(), 0.0);
+  std::vector<int> size(static_cast<std::size_t>(n), floor_size);
+  int assigned = n * floor_size;
+  const int distributable = total - assigned;
+  std::vector<std::pair<double, int>> fractions;
+  for (int i = 0; i < n; ++i) {
+    const double ideal =
+        weight[static_cast<std::size_t>(i)] / wsum * distributable;
+    const int extra = std::max(0, static_cast<int>(std::floor(ideal)));
+    size[static_cast<std::size_t>(i)] += extra;
+    assigned += extra;
+    fractions.emplace_back(ideal - std::floor(ideal), i);
+  }
+  std::sort(fractions.begin(), fractions.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t cursor = 0;
+  while (assigned < total) {
+    size[static_cast<std::size_t>(fractions[cursor % fractions.size()].second)]++;
+    ++assigned;
+    ++cursor;
+  }
+  while (assigned > total) {
+    // Take back units from the largest cones.
+    const auto it = std::max_element(size.begin(), size.end());
+    if (*it <= 1) break;
+    --*it;
+    --assigned;
+  }
+  CLKTUNE_ENSURES(assigned == total);
+  return size;
+}
+
+struct GridIndex {
+  int side = 1;
+  double pitch = 10.0;
+
+  Point position(int ff) const {
+    return Point{pitch * static_cast<double>(ff % side),
+                 pitch * static_cast<double>(ff / side)};
+  }
+};
+
+/// Picks `want` distinct source FFs near `center`, expanding the search
+/// radius until enough candidates exist.
+std::vector<int> pick_nearby_ffs(int center, int want, int total,
+                                 const GridIndex& grid,
+                                 util::SplitMix64& rng) {
+  std::vector<int> chosen;
+  const int cx = center % grid.side;
+  const int cy = center / grid.side;
+  int radius = 2;
+  std::vector<int> pool;
+  while (static_cast<int>(pool.size()) < 3 * want && radius < 4 * grid.side) {
+    pool.clear();
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        const int x = cx + dx;
+        const int y = cy + dy;
+        if (x < 0 || y < 0 || x >= grid.side) continue;
+        const int idx = y * grid.side + x;
+        if (idx >= 0 && idx < total && idx != center) pool.push_back(idx);
+      }
+    }
+    radius *= 2;
+  }
+  if (pool.empty())
+    for (int i = 0; i < total; ++i)
+      if (i != center) pool.push_back(i);
+  for (int k = 0; k < want && !pool.empty(); ++k) {
+    const std::size_t pick = rng.next_below(pool.size());
+    chosen.push_back(pool[pick]);
+    pool[pick] = pool.back();
+    pool.pop_back();
+  }
+  return chosen;
+}
+
+}  // namespace
+
+Design generate(const SyntheticSpec& spec) {
+  CLKTUNE_EXPECTS(spec.num_flipflops >= 1);
+  CLKTUNE_EXPECTS(spec.num_gates >= spec.num_flipflops);
+
+  Design design;
+  design.name = spec.name;
+  Netlist& nl = design.netlist;
+  util::SplitMix64 rng(util::hash_u64(spec.seed, 0xC1AC0));
+
+  const int ns = spec.num_flipflops;
+  const int npi = spec.num_primary_inputs >= 0 ? spec.num_primary_inputs
+                                               : ns / 20 + 2;
+  const int npo = spec.num_primary_outputs >= 0 ? spec.num_primary_outputs
+                                                : ns / 10 + 2;
+
+  GridIndex grid;
+  grid.side = std::max(1, static_cast<int>(std::ceil(
+                              std::sqrt(static_cast<double>(ns)))));
+  grid.pitch = design.ff_pitch;
+
+  std::vector<NodeId> pis;
+  for (int i = 0; i < npi; ++i)
+    pis.push_back(nl.add_primary_input("pi" + std::to_string(i)));
+  std::vector<NodeId> ffs;
+  for (int i = 0; i < ns; ++i)
+    ffs.push_back(
+        nl.add_flipflop(design.library.dff_cell(), "ff" + std::to_string(i)));
+
+  // Criticality seeds: a few cones forced deep.
+  std::vector<bool> forced_deep(static_cast<std::size_t>(ns), false);
+  const int n_deep = std::max(
+      1, static_cast<int>(std::lround(spec.forced_deep_fraction * ns)));
+  for (int k = 0; k < n_deep; ++k)
+    forced_deep[rng.next_below(static_cast<std::uint64_t>(ns))] = true;
+
+  const std::vector<int> cone_size =
+      allocate_cone_sizes(ns, spec.num_gates, spec.min_depth,
+                          spec.cone_size_sigma, forced_deep, rng);
+
+  // Cell ids by arity.
+  const CellLibrary& lib = design.library;
+  const std::vector<int> cells1 = {lib.find("INV"), lib.find("BUF")};
+  const std::vector<int> cells2 = {lib.find("NAND"), lib.find("NOR"),
+                                   lib.find("AND"), lib.find("OR"),
+                                   lib.find("XOR")};
+  const std::vector<int> cells3 = {lib.find("NAND3"), lib.find("NOR3")};
+
+  int gate_serial = 0;
+  for (int f = 0; f < ns; ++f) {
+    const int cs = cone_size[static_cast<std::size_t>(f)];
+    // Depth: spine length within [min_depth, max_depth], capped by cone
+    // size; forced-deep cones stretch toward the cap.
+    // Two clearly separated depth tiers: ordinary cones stay below 60 % of
+    // the cap while criticality-seed cones reach for it.  The resulting gap
+    // (a few sigma of path delay) is what concentrates failures on a
+    // handful of flip-flops instead of smearing them across the circuit.
+    const bool deep = forced_deep[static_cast<std::size_t>(f)] != 0;
+    const double fill =
+        deep ? rng.next_double(0.9, 1.0) : rng.next_double(0.35, 0.75);
+    const int cap = deep ? spec.max_depth
+                         : std::max(spec.min_depth,
+                                    static_cast<int>(0.6 * spec.max_depth));
+    int depth = std::max(std::min(cs, spec.min_depth),
+                         std::min({cs, cap,
+                                   static_cast<int>(std::lround(cs * fill))}));
+    depth = std::max(1, depth);
+
+    // Source flip-flops for this cone.
+    const int extra_sources = static_cast<int>(
+        std::floor(rng.next_double() * (2.0 * (spec.avg_sources - 1.0)) + 0.5));
+    std::vector<int> sources =
+        pick_nearby_ffs(f, std::max(1, 1 + extra_sources), ns, grid, rng);
+    // Self-loops (state-register feedback): common on shallow cones, where
+    // they are timing-harmless, plus a controlled fraction of the deep
+    // criticality seeds (accumulator-style registers).  A self-loop path
+    // cannot be rescued by clock tuning (x_i - x_i = 0), so the deep ones
+    // set the hard ceiling on reachable yield.
+    const bool shallow = cs <= std::max(2, spec.num_gates / spec.num_flipflops);
+    const bool wants_self =
+        deep ? rng.next_double() < spec.deep_self_loop_frac
+             : shallow && rng.next_double() < spec.self_loop_prob;
+    if (sources.empty() || wants_self) sources.push_back(f);
+
+    // Build the cone as an in-tree rooted at the FF's D input.  `open`
+    // holds (gate, depth) pairs with at least one unfilled fanin slot.
+    struct OpenSlot {
+      std::vector<NodeId> fanins;  // filled so far
+      int arity;
+      int depth;   // depth of this gate below the root (root = 1)
+      int serial;  // creation order (stable ids)
+    };
+    std::vector<OpenSlot> gates_in_cone;
+    gates_in_cone.reserve(static_cast<std::size_t>(cs));
+
+    auto new_gate = [&](int depth_below_root) {
+      OpenSlot slot;
+      const double r = rng.next_double();
+      slot.arity = r < 0.18 ? 1 : (r < 0.9 ? 2 : 3);
+      // The root gate is kept single-input (spine only) when the cone has
+      // at least two gates: this forces every launch->capture path through
+      // >= 2 gates, which keeps short paths hold-safe under the skew field.
+      if (depth_below_root == 1 && cs >= 2) slot.arity = 1;
+      slot.depth = depth_below_root;
+      slot.serial = gate_serial++;
+      gates_in_cone.push_back(std::move(slot));
+      return static_cast<int>(gates_in_cone.size()) - 1;
+    };
+
+    // Spine: chain of `depth` gates; gates_in_cone[k] is at depth k+1 and
+    // (for k < depth-1) takes gate k+1 as its first fanin placeholder.
+    for (int k = 0; k < depth; ++k) new_gate(k + 1);
+    // Remaining gates attach below any gate with spare depth budget.
+    for (int k = depth; k < cs; ++k) {
+      // Parent candidates: gates at depth < max usable depth with free slot.
+      // Choose uniformly; retry a few times if the chosen parent is full.
+      int parent = -1;
+      for (int attempt = 0; attempt < 8 && parent < 0; ++attempt) {
+        const int cand = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(gates_in_cone.size())));
+        OpenSlot& p = gates_in_cone[static_cast<std::size_t>(cand)];
+        const int used =
+            static_cast<int>(p.fanins.size()) +
+            ((cand + 1 < depth && cand < depth) ? 1 : 0);  // spine child slot
+        // Side subtrees hang off the deep half of the cone only, so their
+        // register taps sit at depth >= depth/2 (hold padding, see below).
+        if (used < p.arity && p.depth < spec.max_depth &&
+            2 * p.depth >= depth)
+          parent = cand;
+      }
+      if (parent < 0) {
+        // Fall back: bump arity of gate 0's subtree by attaching to any gate
+        // with capacity ignoring depth cap.
+        for (std::size_t cand = 0; cand < gates_in_cone.size(); ++cand) {
+          OpenSlot& p = gates_in_cone[cand];
+          const int used = static_cast<int>(p.fanins.size()) +
+                           ((static_cast<int>(cand) + 1 < depth) ? 1 : 0);
+          if (used < p.arity) {
+            parent = static_cast<int>(cand);
+            break;
+          }
+        }
+      }
+      if (parent < 0) {
+        // Everything full: enlarge some gate's arity (capacity grows ~0.9
+        // slots per created gate, so a non-full gate must exist).
+        bool bumped = false;
+        for (auto& p : gates_in_cone)
+          if (p.arity < 3) {
+            ++p.arity;
+            bumped = true;
+            break;
+          }
+        CLKTUNE_ASSERT(bumped);
+        --k;
+        continue;
+      }
+      const int child = new_gate(
+          gates_in_cone[static_cast<std::size_t>(parent)].depth + 1);
+      // Record linkage via a sentinel: fanins of parent get negative child
+      // reference encoded as -(child+2).
+      gates_in_cone[static_cast<std::size_t>(parent)].fanins.push_back(
+          -(child + 2));
+    }
+
+    // Materialise gates bottom-up (children before parents): process in
+    // reverse creation order, which is a valid topological order of the
+    // in-tree (children are always created after their parent... the
+    // *linkage* is parent->child, so children must be materialised first;
+    // creation order has parents first, hence reverse order works).
+    std::vector<NodeId> materialized(gates_in_cone.size(), kNoNode);
+    auto leaf_source = [&]() -> NodeId {
+      if (!pis.empty() && rng.next_double() < spec.pi_tap_prob)
+        return pis[rng.next_below(pis.size())];
+      const int src =
+          sources[rng.next_below(static_cast<std::uint64_t>(sources.size()))];
+      return ffs[static_cast<std::size_t>(src)];
+    };
+    for (int k = static_cast<int>(gates_in_cone.size()) - 1; k >= 0; --k) {
+      OpenSlot& slot = gates_in_cone[static_cast<std::size_t>(k)];
+      std::vector<NodeId> fanins;
+      // Spine child: gate k+1 feeds gate k (both on the spine).
+      if (k + 1 < depth) {
+        fanins.push_back(materialized[static_cast<std::size_t>(k) + 1]);
+      }
+      for (int enc : slot.fanins) {
+        CLKTUNE_ASSERT(enc <= -2);
+        fanins.push_back(materialized[static_cast<std::size_t>(-enc - 2)]);
+      }
+      // Hold padding: gates in the shallow half of the cone duplicate their
+      // gate fanin instead of tapping a launch register directly.  This
+      // keeps every launch->capture min path at roughly half the cone
+      // depth, which is what gives the clock-tuning window room to pull
+      // launch clocks earlier without creating hold violations (real
+      // designs achieve the same with min-delay padding).
+      const bool pad_hold = slot.depth < (depth + 1) / 2 && !fanins.empty() &&
+                            nl.node(fanins[0]).kind == NodeKind::gate;
+      while (static_cast<int>(fanins.size()) < slot.arity)
+        fanins.push_back(pad_hold ? fanins[0] : leaf_source());
+      const std::vector<int>& pool =
+          slot.arity == 1 ? cells1 : (slot.arity == 2 ? cells2 : cells3);
+      int cell = pool[rng.next_below(pool.size())];
+      // XOR is slow; keep it rare even within 2-input picks.
+      if (design.library.cell(cell).name == "XOR" && rng.next_double() < 0.6)
+        cell = cells2[0];
+      materialized[static_cast<std::size_t>(k)] = nl.add_gate(
+          cell, "g" + std::to_string(slot.serial), std::move(fanins));
+    }
+    nl.set_ff_driver(ffs[static_cast<std::size_t>(f)], materialized[0]);
+  }
+
+  // Primary outputs tap random gates; flip-flops with no fanout also get a
+  // PO so no state element dangles.
+  nl.finalize();
+  int po_serial = 0;
+  for (int i = 0; i < npo; ++i) {
+    const NodeId g = nl.gates()[rng.next_below(nl.gates().size())];
+    nl.add_primary_output("po" + std::to_string(po_serial++), g);
+  }
+  for (NodeId ff : nl.flipflops())
+    if (nl.node(ff).fanouts.empty())
+      nl.add_primary_output("po" + std::to_string(po_serial++), ff);
+  nl.finalize();
+
+  // Placement.
+  design.ff_position.resize(static_cast<std::size_t>(ns));
+  for (int i = 0; i < ns; ++i)
+    design.ff_position[static_cast<std::size_t>(i)] = grid.position(i);
+
+  // Clock-skew field: two smooth sinusoidal modes + white noise, scaled to
+  // the nominal period.
+  const double t0 = nominal_min_period(design);
+  const double amplitude = spec.skew_amplitude_factor * t0;
+  const double extent = grid.pitch * grid.side;
+  const util::CounterRng skew_rng(util::hash_u64(spec.seed, 0x5BE3));
+  design.clock_skew_ps.assign(static_cast<std::size_t>(ns), 0.0);
+  const double phase1 = skew_rng.uniform(1) * 2.0 * std::numbers::pi;
+  const double phase2 = skew_rng.uniform(2) * 2.0 * std::numbers::pi;
+  const double wavelength =
+      std::max(extent, 1.0) * spec.skew_wavelength_factor;
+  for (int i = 0; i < ns; ++i) {
+    const Point p = grid.position(i);
+    const double s1 =
+        std::sin(2.0 * std::numbers::pi * p.x / wavelength + phase1);
+    const double s2 =
+        std::sin(2.0 * std::numbers::pi * p.y / wavelength + phase2);
+    design.clock_skew_ps[static_cast<std::size_t>(i)] =
+        amplitude * 0.5 * (s1 + s2) +
+        spec.skew_noise_ps * skew_rng.normal(static_cast<std::uint64_t>(i), 3);
+  }
+  return design;
+}
+
+}  // namespace clktune::netlist

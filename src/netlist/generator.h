@@ -1,0 +1,85 @@
+// Seeded synthetic sequential-circuit generator.
+//
+// The paper's evaluation uses ISCAS89 / TAU-2013 netlists mapped to an
+// industrial library, with extra clock skews injected to create more
+// critical paths.  Neither the mapped netlists nor the library are
+// redistributable, so this generator builds circuits with the same external
+// statistics (flip-flop count, gate count) and the structural properties
+// the algorithm actually consumes:
+//
+//  * per-flip-flop input cones built as fanin trees with controlled logic
+//    depth; cone sizes follow a heavy-tailed distribution so a small set of
+//    deep cones concentrates timing criticality (what makes a handful of
+//    tuning buffers effective);
+//  * locality-biased source selection over a placement grid, so sequential
+//    neighbours are physically close (Manhattan-distance grouping, Fig. 6,
+//    is meaningful);
+//  * a smooth sinusoidal clock-skew field plus white noise — the "added
+//    clock skews"; smoothness keeps connected pairs hold-safe while distant
+//    regions diverge, and gives nearby buffers correlated tuning;
+//  * optional self-loop arcs (state registers), which tuning provably cannot
+//    help and which therefore bound the reachable yield, as in real designs.
+//
+// Generation is a pure function of the spec (counter-based RNG).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace clktune::netlist {
+
+struct SyntheticSpec {
+  std::string name = "synth";
+  int num_flipflops = 100;
+  int num_gates = 1000;
+  std::uint64_t seed = 1;
+
+  /// Mean number of distinct source flip-flops feeding one cone.
+  double avg_sources = 2.6;
+  /// Probability that a shallow cone includes its own flip-flop as a source.
+  double self_loop_prob = 0.06;
+  /// Fraction of criticality-seed (deep) cones that carry state feedback
+  /// (a self-loop).  Clock tuning cannot shift a path that launches and
+  /// captures at the same flip-flop, so such cones put a hard ceiling on
+  /// reachable yield.  Off by default (the regional variation term already
+  /// bounds rescued yield smoothly); exposed for ablation studies.
+  double deep_self_loop_frac = 0.0;
+  /// Log-normal sigma of cone sizes; larger -> heavier tail -> fewer,
+  /// deeper critical cones.
+  double cone_size_sigma = 0.85;
+  /// Fraction of flip-flops whose cone is forced deep (criticality seeds).
+  /// Keeping this around 1 % concentrates timing failures on a handful of
+  /// flip-flops, which is what lets a small buffer count rescue most chips
+  /// (the <1 %-of-ns buffer counts of Table I).
+  double forced_deep_fraction = 0.006;
+  int min_depth = 3;
+  /// High enough that the log-normal tail differentiates cone depths
+  /// instead of piling up at the cap (a pile-up smears criticality over
+  /// dozens of flip-flops).
+  int max_depth = 40;
+
+  /// Clock-skew field amplitude as a fraction of the nominal period.
+  /// Kept below the shortest-path hold margin of connected (nearby) pairs.
+  /// This is the deterministic imbalance ("we added clock skews so that
+  /// they have more critical paths") that buffers profitably cancel.
+  double skew_amplitude_factor = 0.06;
+  /// Additional white-noise skew sigma (ps).
+  double skew_noise_ps = 1.5;
+  /// Skew field wavelength as a multiple of the die extent; larger =
+  /// smoother = smaller skew difference between neighbouring flip-flops.
+  double skew_wavelength_factor = 3.0;
+
+  /// Probability that an open fanin slot samples a primary input instead of
+  /// a source flip-flop.
+  double pi_tap_prob = 0.03;
+
+  int num_primary_inputs = -1;   ///< default: ns/20 + 2
+  int num_primary_outputs = -1;  ///< default: ns/10 + 2
+};
+
+/// Generates a finalized Design (netlist + placement + skew).
+Design generate(const SyntheticSpec& spec);
+
+}  // namespace clktune::netlist

@@ -1,0 +1,116 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clktune::netlist {
+
+NodeId Netlist::add_node(Node node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  if (!node.name.empty()) {
+    const auto [it, inserted] = by_name_.emplace(node.name, id);
+    if (!inserted)
+      throw std::invalid_argument("duplicate node name: " + node.name);
+  }
+  nodes_.push_back(std::move(node));
+  finalized_ = false;
+  return id;
+}
+
+NodeId Netlist::add_primary_input(std::string name) {
+  const NodeId id =
+      add_node(Node{NodeKind::primary_input, -1, std::move(name), {}, {}});
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_primary_output(std::string name, NodeId driver) {
+  CLKTUNE_EXPECTS(driver >= 0 &&
+                  driver < static_cast<NodeId>(nodes_.size()));
+  const NodeId id = add_node(
+      Node{NodeKind::primary_output, -1, std::move(name), {driver}, {}});
+  outputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_gate(int cell, std::string name,
+                         std::vector<NodeId> fanins) {
+  CLKTUNE_EXPECTS(!fanins.empty());
+  for (NodeId f : fanins)
+    CLKTUNE_EXPECTS(f >= 0 && f < static_cast<NodeId>(nodes_.size()));
+  const NodeId id = add_node(
+      Node{NodeKind::gate, cell, std::move(name), std::move(fanins), {}});
+  gates_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_flipflop(int cell, std::string name, NodeId d_driver) {
+  std::vector<NodeId> fanins;
+  if (d_driver != kNoNode) fanins.push_back(d_driver);
+  const NodeId id = add_node(
+      Node{NodeKind::flipflop, cell, std::move(name), std::move(fanins), {}});
+  flipflops_.push_back(id);
+  return id;
+}
+
+void Netlist::set_ff_driver(NodeId ff, NodeId d_driver) {
+  Node& node = nodes_[static_cast<std::size_t>(ff)];
+  CLKTUNE_EXPECTS(node.kind == NodeKind::flipflop);
+  CLKTUNE_EXPECTS(d_driver >= 0 &&
+                  d_driver < static_cast<NodeId>(nodes_.size()));
+  node.fanins.assign(1, d_driver);
+  finalized_ = false;
+}
+
+NodeId Netlist::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoNode : it->second;
+}
+
+void Netlist::finalize() {
+  const std::size_t n = nodes_.size();
+  for (Node& node : nodes_) node.fanouts.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (NodeId f : nodes_[i].fanins)
+      nodes_[static_cast<std::size_t>(f)].fanouts.push_back(
+          static_cast<NodeId>(i));
+  }
+
+  ff_index_.assign(n, -1);
+  for (std::size_t i = 0; i < flipflops_.size(); ++i)
+    ff_index_[static_cast<std::size_t>(flipflops_[i])] = static_cast<int>(i);
+
+  // Kahn topological sort over the combinational gates.  Sequential
+  // elements and primary I/O act as sources/sinks.
+  topo_index_.assign(n, -1);
+  topo_gates_.clear();
+  topo_gates_.reserve(gates_.size());
+  std::vector<int> pending(n, 0);
+  std::vector<NodeId> ready;
+  for (NodeId g : gates_) {
+    int comb_fanins = 0;
+    for (NodeId f : nodes_[static_cast<std::size_t>(g)].fanins)
+      if (nodes_[static_cast<std::size_t>(f)].kind == NodeKind::gate)
+        ++comb_fanins;
+    pending[static_cast<std::size_t>(g)] = comb_fanins;
+    if (comb_fanins == 0) ready.push_back(g);
+  }
+  while (!ready.empty()) {
+    const NodeId g = ready.back();
+    ready.pop_back();
+    topo_index_[static_cast<std::size_t>(g)] =
+        static_cast<int>(topo_gates_.size());
+    topo_gates_.push_back(g);
+    for (NodeId s : nodes_[static_cast<std::size_t>(g)].fanouts) {
+      if (nodes_[static_cast<std::size_t>(s)].kind != NodeKind::gate) continue;
+      if (--pending[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  if (topo_gates_.size() != gates_.size())
+    throw std::logic_error(
+        "combinational cycle detected in netlist (gates not coverable by a "
+        "topological order)");
+  finalized_ = true;
+}
+
+}  // namespace clktune::netlist

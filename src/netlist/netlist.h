@@ -1,0 +1,124 @@
+// Gate-level sequential netlist: primary I/O, combinational gates and
+// flip-flops, with fanin/fanout connectivity and a topological order over
+// the combinational portion.
+//
+// A single clock domain is assumed (as in the paper); per-flip-flop clock
+// skew and placement live in the enclosing Design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell_library.h"
+#include "util/assert.h"
+
+namespace clktune::netlist {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+enum class NodeKind : std::uint8_t {
+  primary_input,
+  primary_output,
+  gate,
+  flipflop,
+};
+
+struct Node {
+  NodeKind kind = NodeKind::gate;
+  int cell = -1;  ///< CellLibrary id (gates and flip-flops)
+  std::string name;
+  std::vector<NodeId> fanins;   ///< for a flip-flop: the single D driver
+  std::vector<NodeId> fanouts;  ///< driven nodes (derived by finalize())
+};
+
+class Netlist {
+ public:
+  NodeId add_primary_input(std::string name);
+  /// A primary output taps exactly one driver.
+  NodeId add_primary_output(std::string name, NodeId driver);
+  NodeId add_gate(int cell, std::string name, std::vector<NodeId> fanins);
+  /// Flip-flop; D driver may be attached later with set_ff_driver().
+  NodeId add_flipflop(int cell, std::string name, NodeId d_driver = kNoNode);
+  void set_ff_driver(NodeId ff, NodeId d_driver);
+
+  /// Computes fanouts and the combinational topological order; validates
+  /// that the combinational subgraph is acyclic.  Must be called after
+  /// construction and before timing queries.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  const Node& node(NodeId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  const std::vector<NodeId>& flipflops() const { return flipflops_; }
+  const std::vector<NodeId>& gates() const { return gates_; }
+  const std::vector<NodeId>& primary_inputs() const { return inputs_; }
+  const std::vector<NodeId>& primary_outputs() const { return outputs_; }
+
+  /// Gates in combinational topological order (sources first).
+  const std::vector<NodeId>& topo_gates() const {
+    CLKTUNE_EXPECTS(finalized_);
+    return topo_gates_;
+  }
+  /// Position of a gate in topo_gates(); -1 for non-gates.
+  int topo_index(NodeId id) const {
+    return topo_index_[static_cast<std::size_t>(id)];
+  }
+
+  /// Index of a flip-flop within flipflops(); -1 otherwise.
+  int ff_index(NodeId id) const {
+    return ff_index_[static_cast<std::size_t>(id)];
+  }
+
+  NodeId find(const std::string& name) const;
+
+ private:
+  NodeId add_node(Node node);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> flipflops_, gates_, inputs_, outputs_;
+  std::vector<NodeId> topo_gates_;
+  std::vector<int> topo_index_, ff_index_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  bool finalized_ = false;
+};
+
+/// 2-D placement point (abstract distance units).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double manhattan(const Point& a, const Point& b) {
+  const double dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const double dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// A complete design: netlist + library + per-FF clock skew + placement.
+struct Design {
+  std::string name;
+  Netlist netlist;
+  CellLibrary library = CellLibrary::standard();
+  /// Clock arrival offset (ps) per flip-flop, indexed like
+  /// netlist.flipflops().  Deterministic design-time skew ("we added clock
+  /// skews so that they have more critical paths", Section IV).
+  std::vector<double> clock_skew_ps;
+  /// Placement per flip-flop, indexed like netlist.flipflops().
+  std::vector<Point> ff_position;
+  /// Minimum spacing between flip-flops (distance unit for grouping).
+  double ff_pitch = 10.0;
+
+  double skew(int ff_idx) const {
+    return clock_skew_ps.empty() ? 0.0
+                                 : clock_skew_ps[static_cast<std::size_t>(ff_idx)];
+  }
+};
+
+}  // namespace clktune::netlist

@@ -1,0 +1,52 @@
+#include "netlist/nominal_sta.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace clktune::netlist {
+
+double nominal_gate_delay(const Design& design, NodeId gate) {
+  const Node& g = design.netlist.node(gate);
+  const CellType& cell = design.library.cell(g.cell);
+  const int extra_fanout =
+      std::max(0, static_cast<int>(g.fanouts.size()) - 1);
+  return cell.delay_ps + cell.load_ps * extra_fanout;
+}
+
+double nominal_gate_min_delay(const Design& design, NodeId gate) {
+  const Node& g = design.netlist.node(gate);
+  const CellType& cell = design.library.cell(g.cell);
+  const int extra_fanout =
+      std::max(0, static_cast<int>(g.fanouts.size()) - 1);
+  return cell.min_delay_ps + 0.5 * cell.load_ps * extra_fanout;
+}
+
+double nominal_min_period(const Design& design) {
+  const Netlist& nl = design.netlist;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> arrival(nl.num_nodes(), kNegInf);
+  const double clkq =
+      design.library.cell(design.library.dff_cell()).delay_ps;
+  for (NodeId ff : nl.flipflops())
+    arrival[static_cast<std::size_t>(ff)] = clkq;
+  for (NodeId g : nl.topo_gates()) {
+    double in = kNegInf;
+    for (NodeId f : nl.node(g).fanins)
+      in = std::max(in, arrival[static_cast<std::size_t>(f)]);
+    if (in > kNegInf)
+      arrival[static_cast<std::size_t>(g)] =
+          in + nominal_gate_delay(design, g);
+  }
+  double period = 0.0;
+  for (NodeId ff : nl.flipflops()) {
+    const Node& node = nl.node(ff);
+    if (node.fanins.empty()) continue;
+    const double at = arrival[static_cast<std::size_t>(node.fanins[0])];
+    if (at > kNegInf)
+      period = std::max(period, at + design.library.setup_ps());
+  }
+  return period;
+}
+
+}  // namespace clktune::netlist

@@ -1,0 +1,21 @@
+// Deterministic (nominal-corner) static timing used for quick critical-path
+// queries: the "original clock period" that sizes the tuning range (the
+// paper uses tau = T/8) and generator self-calibration.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace clktune::netlist {
+
+/// Nominal max (late) delay of one gate arc including fanout load.
+double nominal_gate_delay(const Design& design, NodeId gate);
+/// Nominal min (early) delay of one gate arc including fanout load.
+double nominal_gate_min_delay(const Design& design, NodeId gate);
+
+/// Minimum feasible zero-skew clock period at the nominal corner:
+///   max over FF->FF paths of (clk->Q + combinational + setup).
+/// Clock skews are deliberately ignored: this is the pre-skew design period
+/// that the buffer range is derived from.
+double nominal_min_period(const Design& design);
+
+}  // namespace clktune::netlist

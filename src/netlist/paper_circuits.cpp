@@ -1,0 +1,40 @@
+#include "netlist/paper_circuits.h"
+
+namespace clktune::netlist {
+
+std::vector<SyntheticSpec> paper_circuit_specs() {
+  // (name, ns, ng) straight from Table I; one fixed seed per circuit.
+  struct RowSpec {
+    const char* name;
+    int ns, ng;
+    std::uint64_t seed;
+  };
+  constexpr RowSpec rows[] = {
+      {"s9234", 211, 5597, 0x5923401},
+      {"s13207", 638, 7951, 0x5132072},
+      {"s15850", 534, 9772, 0x5158503},
+      {"s38584", 1426, 19253, 0x5385844},
+      {"mem_ctrl", 1065, 10327, 0x63E3C7215},
+      {"usb_funct", 1746, 14381, 0x705BF6},
+      {"ac97_ctrl", 2199, 9208, 0xAC97C781},
+      {"pci_bridge32", 3321, 12494, 0x9C1B8D327},
+  };
+  std::vector<SyntheticSpec> specs;
+  for (const RowSpec& r : rows) {
+    SyntheticSpec s;
+    s.name = r.name;
+    s.num_flipflops = r.ns;
+    s.num_gates = r.ng;
+    s.seed = r.seed;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+std::optional<SyntheticSpec> paper_circuit_spec(const std::string& name) {
+  for (SyntheticSpec& s : paper_circuit_specs())
+    if (s.name == name) return std::move(s);
+  return std::nullopt;
+}
+
+}  // namespace clktune::netlist

@@ -1,0 +1,21 @@
+// The eight benchmark circuits of Table I, as synthetic analogues with the
+// exact flip-flop (ns) and gate (ng) counts the paper reports.  See
+// generator.h for why analogues are used instead of the original netlists.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/generator.h"
+
+namespace clktune::netlist {
+
+/// Specs for s9234, s13207, s15850, s38584 (ISCAS89) and mem_ctrl,
+/// usb_funct, ac97_ctrl, pci_bridge32 (TAU 2013), in Table I order.
+std::vector<SyntheticSpec> paper_circuit_specs();
+
+/// Spec by name; std::nullopt when unknown.
+std::optional<SyntheticSpec> paper_circuit_spec(const std::string& name);
+
+}  // namespace clktune::netlist

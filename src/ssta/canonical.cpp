@@ -1,0 +1,59 @@
+#include "ssta/canonical.h"
+
+#include <algorithm>
+#include <numbers>
+
+namespace clktune::ssta {
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+double normal_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+Canon clark_max(const Canon& x, const Canon& y) {
+  const double vx = x.variance();
+  const double vy = y.variance();
+  const double cxy = x.covariance(y);
+  const double theta2 = std::max(vx + vy - 2.0 * cxy, 0.0);
+  const double theta = std::sqrt(theta2);
+
+  if (theta < 1e-12) {
+    // Fully correlated / identical spread: max is just the larger mean.
+    return x.mu >= y.mu ? x : y;
+  }
+
+  const double alpha = (x.mu - y.mu) / theta;
+  const double phi = normal_pdf(alpha);
+  const double big_phi = normal_cdf(alpha);
+  const double big_phi_c = 1.0 - big_phi;
+
+  Canon out;
+  out.mu = x.mu * big_phi + y.mu * big_phi_c + theta * phi;
+  // Blend global sensitivities by tightness probability.
+  for (int p = 0; p < kParams; ++p)
+    out.a[static_cast<std::size_t>(p)] =
+        big_phi * x.a[static_cast<std::size_t>(p)] +
+        big_phi_c * y.a[static_cast<std::size_t>(p)];
+  // Second moment of the exact max.
+  const double m2 = (x.mu * x.mu + vx) * big_phi +
+                    (y.mu * y.mu + vy) * big_phi_c +
+                    (x.mu + y.mu) * theta * phi;
+  const double var = std::max(m2 - out.mu * out.mu, 0.0);
+  double aglob2 = 0.0;
+  for (double ap : out.a) aglob2 += ap * ap;
+  out.aloc = std::sqrt(std::max(var - aglob2, 0.0));
+  return out;
+}
+
+Canon clark_min(const Canon& x, const Canon& y) {
+  const auto negate = [](const Canon& c) {
+    Canon n = c;
+    n.mu = -n.mu;
+    for (double& ap : n.a) ap = -ap;
+    return n;
+  };
+  return negate(clark_max(negate(x), negate(y)));
+}
+
+}  // namespace clktune::ssta

@@ -1,0 +1,165 @@
+#include "ssta/seq_graph.h"
+
+#include <algorithm>
+
+#include "netlist/nominal_sta.h"
+#include "util/assert.h"
+
+namespace clktune::ssta {
+namespace {
+
+using netlist::Design;
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+/// Canonical delay of one gate arc (nominal x relative variation model).
+Canon gate_canon(const Design& design, NodeId gate, bool late) {
+  const double nominal = late ? netlist::nominal_gate_delay(design, gate)
+                              : netlist::nominal_gate_min_delay(design, gate);
+  const netlist::VariationModel& vm = design.library.variation();
+  Canon c;
+  c.mu = nominal;
+  for (int p = 0; p < kParams; ++p)
+    c.a[static_cast<std::size_t>(p)] =
+        nominal * vm.global_sens[static_cast<std::size_t>(p)];
+  c.aloc = nominal * vm.local_sigma;
+  return c;
+}
+
+Canon clkq_canon(const Design& design, NodeId ff, bool late) {
+  return gate_canon(design, ff, late);
+}
+
+}  // namespace
+
+SeqGraph extract_seq_graph(const Design& design) {
+  const Netlist& nl = design.netlist;
+  CLKTUNE_EXPECTS(nl.finalized());
+
+  SeqGraph graph;
+  graph.num_ffs = static_cast<int>(nl.flipflops().size());
+  graph.setup_ps.assign(static_cast<std::size_t>(graph.num_ffs),
+                        design.library.setup_ps());
+  graph.hold_ps.assign(static_cast<std::size_t>(graph.num_ffs),
+                       design.library.hold_ps());
+  graph.skew_ps.resize(static_cast<std::size_t>(graph.num_ffs));
+  for (int i = 0; i < graph.num_ffs; ++i)
+    graph.skew_ps[static_cast<std::size_t>(i)] = design.skew(i);
+
+  // Scratch arrays reused across sources; `stamp` marks cone membership.
+  const std::size_t n = nl.num_nodes();
+  std::vector<int> stamp(n, -1);
+  std::vector<Canon> arr_max(n), arr_min(n);
+  std::vector<NodeId> cone;
+
+  for (int src = 0; src < graph.num_ffs; ++src) {
+    const NodeId src_node = nl.flipflops()[static_cast<std::size_t>(src)];
+    // Collect the combinational fanout cone via DFS.
+    cone.clear();
+    std::vector<NodeId> stack;
+    for (NodeId s : nl.node(src_node).fanouts) stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      if (nl.node(v).kind != NodeKind::gate) continue;
+      if (stamp[static_cast<std::size_t>(v)] == src) continue;
+      stamp[static_cast<std::size_t>(v)] = src;
+      cone.push_back(v);
+      for (NodeId s : nl.node(v).fanouts) stack.push_back(s);
+    }
+    // Process cone gates in global topological order.
+    std::sort(cone.begin(), cone.end(), [&nl](NodeId a, NodeId b) {
+      return nl.topo_index(a) < nl.topo_index(b);
+    });
+
+    const Canon launch_max = clkq_canon(design, src_node, true);
+    const Canon launch_min = clkq_canon(design, src_node, false);
+
+    for (NodeId g : cone) {
+      bool have = false;
+      Canon in_max, in_min;
+      for (NodeId f : nl.node(g).fanins) {
+        const Node& fn = nl.node(f);
+        Canon fmax, fmin;
+        if (f == src_node) {
+          fmax = launch_max;
+          fmin = launch_min;
+        } else if (fn.kind == NodeKind::gate &&
+                   stamp[static_cast<std::size_t>(f)] == src) {
+          fmax = arr_max[static_cast<std::size_t>(f)];
+          fmin = arr_min[static_cast<std::size_t>(f)];
+        } else {
+          continue;  // side input: not on a src->dst path
+        }
+        if (!have) {
+          in_max = fmax;
+          in_min = fmin;
+          have = true;
+        } else {
+          in_max = clark_max(in_max, fmax);
+          in_min = clark_min(in_min, fmin);
+        }
+      }
+      CLKTUNE_ASSERT(have);  // cone membership implies an in-cone fanin
+      arr_max[static_cast<std::size_t>(g)] = in_max + gate_canon(design, g, true);
+      arr_min[static_cast<std::size_t>(g)] = in_min + gate_canon(design, g, false);
+    }
+
+    // Emit arcs into every flip-flop whose D driver lies in the cone (or is
+    // the source itself: direct Q->D connection).
+    for (int dst = 0; dst < graph.num_ffs; ++dst) {
+      const NodeId dst_node = nl.flipflops()[static_cast<std::size_t>(dst)];
+      const Node& dn = nl.node(dst_node);
+      if (dn.fanins.empty()) continue;
+      const NodeId driver = dn.fanins[0];
+      Canon dmax, dmin;
+      if (driver == src_node) {
+        dmax = launch_max;
+        dmin = launch_min;
+      } else if (nl.node(driver).kind == NodeKind::gate &&
+                 stamp[static_cast<std::size_t>(driver)] == src) {
+        dmax = arr_max[static_cast<std::size_t>(driver)];
+        dmin = arr_min[static_cast<std::size_t>(driver)];
+      } else {
+        continue;
+      }
+      // Fold in the spatially-correlated within-die component: it scales
+      // with the whole path (one region per cone), so it joins the arc's
+      // local term un-attenuated.  dmax/dmin of one arc share the sampling
+      // draw, which keeps their regional parts correlated.
+      const double regional = design.library.variation().regional_sigma;
+      dmax.aloc = std::sqrt(dmax.aloc * dmax.aloc +
+                            regional * dmax.mu * regional * dmax.mu);
+      dmin.aloc = std::sqrt(dmin.aloc * dmin.aloc +
+                            regional * dmin.mu * regional * dmin.mu);
+      graph.arcs.push_back(SeqArc{src, dst, dmax, dmin});
+    }
+  }
+
+  graph.arcs_of_ff.assign(static_cast<std::size_t>(graph.num_ffs), {});
+  for (std::size_t e = 0; e < graph.arcs.size(); ++e) {
+    const SeqArc& arc = graph.arcs[e];
+    graph.arcs_of_ff[static_cast<std::size_t>(arc.src_ff)].push_back(
+        static_cast<int>(e));
+    if (arc.dst_ff != arc.src_ff)
+      graph.arcs_of_ff[static_cast<std::size_t>(arc.dst_ff)].push_back(
+          static_cast<int>(e));
+  }
+  return graph;
+}
+
+double nominal_arc_period(const SeqGraph& graph) {
+  double period = 0.0;
+  for (const SeqArc& arc : graph.arcs) {
+    const double t = arc.dmax.mu +
+                     graph.setup_ps[static_cast<std::size_t>(arc.dst_ff)] +
+                     graph.skew_ps[static_cast<std::size_t>(arc.src_ff)] -
+                     graph.skew_ps[static_cast<std::size_t>(arc.dst_ff)];
+    period = std::max(period, t);
+  }
+  return period;
+}
+
+}  // namespace clktune::ssta

@@ -1,0 +1,51 @@
+// Sequential timing graph: one arc per connected flip-flop pair (i -> j)
+// carrying canonical max/min combinational delays (clk->Q included).  This
+// is the object the paper's constraints (1)-(2) range over:
+//
+//   (q_i + x_i) + d_ij  <= (q_j + x_j) + T - s_j        (setup)
+//   (q_i + x_i) + d_ij_ >= (q_j + x_j) + h_j            (hold)
+//
+// Extraction runs one canonical propagation per source flip-flop over its
+// fanout cone (paths from other sources do not interfere with a pairwise
+// delay, so side inputs are ignored during a source's propagation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "ssta/canonical.h"
+
+namespace clktune::ssta {
+
+struct SeqArc {
+  int src_ff = 0;  ///< launching FF (index into flipflops())
+  int dst_ff = 0;  ///< capturing FF
+  Canon dmax;      ///< late path delay clk->Q + combinational
+  Canon dmin;      ///< early path delay
+};
+
+struct SeqGraph {
+  int num_ffs = 0;
+  std::vector<SeqArc> arcs;
+  std::vector<double> setup_ps;  ///< per FF
+  std::vector<double> hold_ps;   ///< per FF
+  std::vector<double> skew_ps;   ///< per FF design clock skew q_i
+  /// Arc indices incident to each FF (both directions), for pruning
+  /// adjacency and reduction.
+  std::vector<std::vector<int>> arcs_of_ff;
+
+  double arcs_per_ff() const {
+    return num_ffs == 0 ? 0.0
+                        : static_cast<double>(arcs.size()) / num_ffs;
+  }
+};
+
+/// Extracts the sequential graph of a finalized design.
+SeqGraph extract_seq_graph(const netlist::Design& design);
+
+/// Statistical estimate of the zero-tuning minimum period's mean (useful
+/// sanity number; the Monte-Carlo module provides the sampled version).
+double nominal_arc_period(const SeqGraph& graph);
+
+}  // namespace clktune::ssta

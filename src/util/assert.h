@@ -1,0 +1,33 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8).  Violations abort with a source location; they
+// indicate programming errors, not recoverable conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace clktune {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[clktune] %s violated: %s at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace clktune
+
+#define CLKTUNE_EXPECTS(cond)                                          \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::clktune::contract_failure("precondition", #cond, __FILE__, \
+                                        __LINE__))
+
+#define CLKTUNE_ENSURES(cond)                                           \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::clktune::contract_failure("postcondition", #cond, __FILE__, \
+                                        __LINE__))
+
+#define CLKTUNE_ASSERT(cond)                                          \
+  ((cond) ? static_cast<void>(0)                                      \
+          : ::clktune::contract_failure("invariant", #cond, __FILE__, \
+                                        __LINE__))

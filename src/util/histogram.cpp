@@ -1,0 +1,69 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace clktune::util {
+
+std::uint64_t IntHistogram::count_in_window(int lo, int hi) const {
+  std::uint64_t sum = 0;
+  for (auto it = counts_.lower_bound(lo);
+       it != counts_.end() && it->first <= hi; ++it) {
+    sum += it->second;
+  }
+  return sum;
+}
+
+int IntHistogram::best_window_lower_bound(int width) const {
+  CLKTUNE_EXPECTS(width >= 0);
+  if (counts_.empty()) return -width / 2;  // centre an empty window on zero
+  const int lo_min = std::min(min_key(), 0) - width;
+  const int lo_max = std::max(max_key(), 0);
+  std::uint64_t best_mass = 0;
+  int best_lo = lo_min;
+  bool best_covers_zero = false;
+  for (int lo = lo_min; lo <= lo_max; ++lo) {
+    const std::uint64_t mass = count_in_window(lo, lo + width);
+    const bool covers_zero = lo <= 0 && 0 <= lo + width;
+    const bool better =
+        mass > best_mass ||
+        (mass == best_mass &&
+         ((covers_zero && !best_covers_zero) ||
+          (covers_zero == best_covers_zero &&
+           std::abs(lo) < std::abs(best_lo))));
+    if (better) {
+      best_mass = mass;
+      best_lo = lo;
+      best_covers_zero = covers_zero;
+    }
+  }
+  return best_lo;
+}
+
+double IntHistogram::mean() const {
+  const std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [k, c] : counts_)
+    sum += static_cast<double>(k) * static_cast<double>(c);
+  return sum / static_cast<double>(t);
+}
+
+std::string IntHistogram::to_ascii(int bar_width) const {
+  std::ostringstream os;
+  std::uint64_t peak = 1;
+  for (const auto& [k, c] : counts_) peak = std::max(peak, c);
+  for (const auto& [k, c] : counts_) {
+    const int bars = static_cast<int>(
+        (c * static_cast<std::uint64_t>(bar_width) + peak - 1) / peak);
+    os << (k >= 0 ? " " : "") << k << "\t";
+    for (int i = 0; i < bars; ++i) os << '#';
+    os << "  (" << c << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace clktune::util

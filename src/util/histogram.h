@@ -1,0 +1,57 @@
+// Integer-keyed histogram used for buffer tuning-value distributions
+// (Fig. 5 of the paper).  Keys are tuning values in discrete step units and
+// may be negative.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clktune::util {
+
+class IntHistogram {
+ public:
+  void add(int key, std::uint64_t weight = 1) { counts_[key] += weight; }
+
+  void merge(const IntHistogram& other) {
+    for (const auto& [k, c] : other.counts_) counts_[k] += c;
+  }
+
+  std::uint64_t count(int key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [k, c] : counts_) t += c;
+    return t;
+  }
+
+  bool empty() const { return counts_.empty(); }
+  int min_key() const { return counts_.empty() ? 0 : counts_.begin()->first; }
+  int max_key() const { return counts_.empty() ? 0 : counts_.rbegin()->first; }
+
+  /// Sum of counts whose key lies in [lo, hi] (inclusive).
+  std::uint64_t count_in_window(int lo, int hi) const;
+
+  /// Slide a window of `width` keys (covering width+1 grid points, i.e.
+  /// [lo, lo+width]) across the support and return the lo that covers the
+  /// most mass.  Ties prefer the window whose interval contains 0 and, among
+  /// those, the smallest |lo|.  This is step III-A4 of the paper.
+  int best_window_lower_bound(int width) const;
+
+  /// Weighted mean of keys; 0 for an empty histogram.
+  double mean() const;
+
+  const std::map<int, std::uint64_t>& cells() const { return counts_; }
+
+  /// ASCII rendering used by the Fig.-5 bench ("value: ### count").
+  std::string to_ascii(int bar_width = 50) const;
+
+ private:
+  std::map<int, std::uint64_t> counts_;
+};
+
+}  // namespace clktune::util

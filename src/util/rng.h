@@ -1,0 +1,98 @@
+// Deterministic random number generation for Monte-Carlo sampling.
+//
+// Two flavours are provided:
+//  * SplitMix64 — a tiny sequential PRNG used where a stateful stream is fine.
+//  * counter-based hashing (hash_u64 / CounterRng) — stateless, so that the
+//    random draw for (seed, sample, entity) is a pure function.  This keeps
+//    Monte-Carlo results bit-identical regardless of thread count or
+//    iteration order, which the sampling-based insertion flow relies on.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace clktune::util {
+
+/// SplitMix64: fast, well-distributed 64-bit PRNG (public-domain algorithm).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).  n must be positive.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and exact
+  /// enough for delay sampling).
+  double next_normal() {
+    // Avoid log(0).
+    double u1 = 0.0;
+    do {
+      u1 = next_double();
+    } while (u1 <= 0.0);
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mixing of up to three words (SplitMix-style finalizer).
+inline std::uint64_t hash_u64(std::uint64_t a, std::uint64_t b = 0,
+                              std::uint64_t c = 0) {
+  std::uint64_t z = a * 0x9e3779b97f4a7c15ULL + b * 0xbf58476d1ce4e5b9ULL +
+                    c * 0x94d049bb133111ebULL + 0x2545f4914f6cdd1dULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Counter-based generator: each (seed, index pair) maps to an independent
+/// uniform/normal draw.  Pure function of its arguments.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+  double uniform(std::uint64_t i, std::uint64_t j = 0) const {
+    return static_cast<double>(hash_u64(seed_, i, j) >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal draw for counter (i, j), via Box-Muller on two
+  /// decorrelated uniforms derived from the same counter.
+  double normal(std::uint64_t i, std::uint64_t j = 0) const {
+    const std::uint64_t h1 = hash_u64(seed_, i, j);
+    const std::uint64_t h2 = hash_u64(~seed_, j + 0x51ed270b, i);
+    double u1 = static_cast<double>(h1 >> 11) * 0x1.0p-53;
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace clktune::util

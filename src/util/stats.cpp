@@ -1,0 +1,19 @@
+#include "util/stats.h"
+
+namespace clktune::util {
+
+double correlation(std::span<const double> a, std::span<const double> b) {
+  CLKTUNE_EXPECTS(a.size() == b.size());
+  OnlineCorrelation acc;
+  for (std::size_t i = 0; i < a.size(); ++i) acc.add(a[i], b[i]);
+  return acc.correlation();
+}
+
+double mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace clktune::util

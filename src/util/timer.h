@@ -1,0 +1,23 @@
+// Wall-clock stopwatch for runtime columns (T(s) in Table I).
+#pragma once
+
+#include <chrono>
+
+namespace clktune::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace clktune::util

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/generator.h"
+#include "ssta/canonical.h"
+#include "ssta/seq_graph.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace clktune::ssta {
+namespace {
+
+Canon make(double mu, double a0, double a1, double a2, double aloc) {
+  Canon c;
+  c.mu = mu;
+  c.a = {a0, a1, a2};
+  c.aloc = aloc;
+  return c;
+}
+
+TEST(CanonTest, VarianceAndSigma) {
+  const Canon c = make(10.0, 3.0, 4.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(c.variance(), 25.0);
+  EXPECT_DOUBLE_EQ(c.sigma(), 5.0);
+}
+
+TEST(CanonTest, SerialCompositionAddsGlobalsRssLocals) {
+  const Canon a = make(5.0, 1.0, 0.0, 0.0, 3.0);
+  const Canon b = make(7.0, 2.0, 1.0, 0.0, 4.0);
+  const Canon s = a + b;
+  EXPECT_DOUBLE_EQ(s.mu, 12.0);
+  EXPECT_DOUBLE_EQ(s.a[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.a[1], 1.0);
+  EXPECT_DOUBLE_EQ(s.aloc, 5.0);  // sqrt(9 + 16)
+}
+
+TEST(CanonTest, CovarianceUsesGlobalsOnly) {
+  const Canon a = make(0.0, 1.0, 2.0, 0.0, 10.0);
+  const Canon b = make(0.0, 3.0, -1.0, 0.0, 20.0);
+  EXPECT_DOUBLE_EQ(a.covariance(b), 1.0);
+}
+
+TEST(CanonTest, EvalRealisesLinearForm) {
+  const Canon c = make(10.0, 1.0, -2.0, 0.5, 3.0);
+  EXPECT_DOUBLE_EQ(c.eval({1.0, 1.0, 2.0}, -1.0), 10.0 + 1.0 - 2.0 + 1.0 - 3.0);
+  EXPECT_DOUBLE_EQ(c.eval({0.0, 0.0, 0.0}, 0.0), 10.0);
+}
+
+TEST(NormalHelpersTest, CdfPdfValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804, 1e-9);
+}
+
+TEST(ClarkMaxTest, DominantInputWins) {
+  const Canon big = make(100.0, 1.0, 0.0, 0.0, 1.0);
+  const Canon small = make(10.0, 0.0, 1.0, 0.0, 1.0);
+  const Canon m = clark_max(big, small);
+  EXPECT_NEAR(m.mu, 100.0, 1e-6);
+  EXPECT_NEAR(m.a[0], 1.0, 1e-6);
+  EXPECT_NEAR(m.a[1], 0.0, 1e-6);
+}
+
+TEST(ClarkMaxTest, SymmetricCaseMatchesTheory) {
+  // For iid N(mu, s^2): E[max] = mu + s/sqrt(pi).
+  const double s = 2.0;
+  const Canon a = make(10.0, 0.0, 0.0, 0.0, s);
+  const Canon b = make(10.0, 0.0, 0.0, 0.0, s);
+  const Canon m = clark_max(a, b);
+  EXPECT_NEAR(m.mu, 10.0 + s / std::sqrt(std::numbers::pi), 1e-9);
+}
+
+TEST(ClarkMaxTest, IdenticalCorrelatedInputsPassThrough) {
+  const Canon a = make(10.0, 2.0, 1.0, 0.0, 0.0);
+  const Canon m = clark_max(a, a);
+  EXPECT_DOUBLE_EQ(m.mu, 10.0);
+  EXPECT_DOUBLE_EQ(m.a[0], 2.0);
+}
+
+TEST(ClarkMaxTest, MatchesMonteCarloMoments) {
+  const Canon a = make(50.0, 4.0, 1.0, 0.0, 3.0);
+  const Canon b = make(48.0, 1.0, 3.0, 2.0, 5.0);
+  const Canon m = clark_max(a, b);
+  util::SplitMix64 rng(2024);
+  util::OnlineStats mc;
+  for (int k = 0; k < 400000; ++k) {
+    const std::array<double, 3> z = {rng.next_normal(), rng.next_normal(),
+                                     rng.next_normal()};
+    const double va = a.eval(z, rng.next_normal());
+    const double vb = b.eval(z, rng.next_normal());
+    mc.add(std::max(va, vb));
+  }
+  EXPECT_NEAR(m.mu, mc.mean(), 0.05);
+  EXPECT_NEAR(m.sigma(), mc.stddev(), 0.1);
+}
+
+TEST(ClarkMinTest, MirrorsMax) {
+  const Canon a = make(50.0, 4.0, 1.0, 0.0, 3.0);
+  const Canon b = make(48.0, 1.0, 3.0, 2.0, 5.0);
+  const Canon lo = clark_min(a, b);
+  EXPECT_LT(lo.mu, std::min(a.mu, b.mu) + 1e-9);
+  util::SplitMix64 rng(99);
+  util::OnlineStats mc;
+  for (int k = 0; k < 200000; ++k) {
+    const std::array<double, 3> z = {rng.next_normal(), rng.next_normal(),
+                                     rng.next_normal()};
+    mc.add(std::min(a.eval(z, rng.next_normal()), b.eval(z, rng.next_normal())));
+  }
+  EXPECT_NEAR(lo.mu, mc.mean(), 0.05);
+}
+
+TEST(ClarkMaxTest, VarianceNeverNegative) {
+  // Stress odd configurations; aloc must stay real.
+  util::SplitMix64 rng(5);
+  for (int t = 0; t < 2000; ++t) {
+    const Canon a = make(rng.next_double(-10, 10), rng.next_double(-3, 3),
+                         rng.next_double(-3, 3), rng.next_double(-3, 3),
+                         rng.next_double(0, 3));
+    const Canon b = make(rng.next_double(-10, 10), rng.next_double(-3, 3),
+                         rng.next_double(-3, 3), rng.next_double(-3, 3),
+                         rng.next_double(0, 3));
+    const Canon m = clark_max(a, b);
+    EXPECT_TRUE(std::isfinite(m.mu));
+    EXPECT_TRUE(std::isfinite(m.aloc));
+    EXPECT_GE(m.aloc, 0.0);
+    EXPECT_GE(m.mu, std::max(a.mu, b.mu) - 1e-9);  // E[max] >= max of means
+  }
+}
+
+// ------------------------- sequential graph --------------------------------
+
+netlist::Design chain_design() {
+  // ff0 -> INV -> NAND -> ff1, plus direct ff0 -> ff1 side path via NAND.
+  netlist::Design d;
+  auto& nl = d.netlist;
+  const auto& lib = d.library;
+  const auto ff0 = nl.add_flipflop(lib.dff_cell(), "ff0");
+  const auto ff1 = nl.add_flipflop(lib.dff_cell(), "ff1");
+  const auto g1 = nl.add_gate(lib.find("INV"), "g1", {ff0});
+  const auto g2 = nl.add_gate(lib.find("NAND"), "g2", {g1, ff0});
+  nl.set_ff_driver(ff1, g2);
+  nl.finalize();
+  d.clock_skew_ps.assign(2, 0.0);
+  d.ff_position.assign(2, {});
+  return d;
+}
+
+TEST(SeqGraphTest, ChainProducesSingleArcWithReconvergentMax) {
+  const netlist::Design d = chain_design();
+  const SeqGraph g = extract_seq_graph(d);
+  ASSERT_EQ(g.num_ffs, 2);
+  ASSERT_EQ(g.arcs.size(), 1u);
+  const SeqArc& arc = g.arcs[0];
+  EXPECT_EQ(arc.src_ff, 0);
+  EXPECT_EQ(arc.dst_ff, 1);
+  // Long path: clkq + inv + nand; short: clkq + nand.  Clark max mean must
+  // be >= the longer path's mean; Clark min <= the shorter path's mean.
+  const auto& lib = d.library;
+  const double clkq = lib.cell(lib.dff_cell()).delay_ps;
+  const double long_path = clkq + lib.cell(lib.find("INV")).delay_ps +
+                           lib.cell(lib.find("NAND")).delay_ps;
+  EXPECT_GE(arc.dmax.mu, long_path - 1e-9);
+  EXPECT_LT(arc.dmax.mu, long_path + 6.0);
+  const double short_min = lib.cell(lib.dff_cell()).min_delay_ps +
+                           lib.cell(lib.find("NAND")).min_delay_ps;
+  EXPECT_LE(arc.dmin.mu, short_min + 1e-9);
+  EXPECT_GT(arc.dmin.mu, short_min - 3.0);
+  EXPECT_LT(arc.dmin.mu, arc.dmax.mu);
+}
+
+TEST(SeqGraphTest, DirectQToDConnection) {
+  netlist::Design d;
+  auto& nl = d.netlist;
+  const auto ff0 = nl.add_flipflop(d.library.dff_cell(), "ff0");
+  const auto ff1 = nl.add_flipflop(d.library.dff_cell(), "ff1", ff0);
+  (void)ff1;
+  (void)ff0;
+  nl.finalize();
+  d.clock_skew_ps.assign(2, 0.0);
+  const SeqGraph g = extract_seq_graph(d);
+  ASSERT_EQ(g.arcs.size(), 1u);
+  EXPECT_NEAR(g.arcs[0].dmax.mu, 22.0, 1e-9);  // bare clk->Q
+}
+
+TEST(SeqGraphTest, SelfLoopDetected) {
+  netlist::Design d;
+  auto& nl = d.netlist;
+  const auto ff0 = nl.add_flipflop(d.library.dff_cell(), "ff0");
+  const auto g1 = nl.add_gate(d.library.find("INV"), "g1", {ff0});
+  nl.set_ff_driver(ff0, g1);
+  nl.finalize();
+  d.clock_skew_ps.assign(1, 0.0);
+  const SeqGraph g = extract_seq_graph(d);
+  ASSERT_EQ(g.arcs.size(), 1u);
+  EXPECT_EQ(g.arcs[0].src_ff, g.arcs[0].dst_ff);
+}
+
+TEST(SeqGraphTest, GeneratedCircuitArcsBounded) {
+  netlist::SyntheticSpec spec;
+  spec.num_flipflops = 150;
+  spec.num_gates = 1200;
+  spec.seed = 77;
+  const netlist::Design d = netlist::generate(spec);
+  const SeqGraph g = extract_seq_graph(d);
+  EXPECT_EQ(g.num_ffs, 150);
+  EXPECT_GT(g.arcs.size(), 100u);      // well connected
+  EXPECT_LT(g.arcs_per_ff(), 40.0);    // but not all-pairs
+  for (const SeqArc& arc : g.arcs) {
+    EXPECT_GT(arc.dmax.mu, 0.0);
+    EXPECT_GE(arc.dmax.mu, arc.dmin.mu - 1e-9);
+    EXPECT_GT(arc.dmax.sigma(), 0.0);
+  }
+  EXPECT_GT(nominal_arc_period(g), 0.0);
+}
+
+TEST(SeqGraphTest, AdjacencyListsConsistent) {
+  netlist::SyntheticSpec spec;
+  spec.num_flipflops = 60;
+  spec.num_gates = 420;
+  spec.seed = 13;
+  const netlist::Design d = netlist::generate(spec);
+  const SeqGraph g = extract_seq_graph(d);
+  std::size_t total = 0;
+  for (int f = 0; f < g.num_ffs; ++f) {
+    for (int e : g.arcs_of_ff[static_cast<std::size_t>(f)]) {
+      const SeqArc& arc = g.arcs[static_cast<std::size_t>(e)];
+      EXPECT_TRUE(arc.src_ff == f || arc.dst_ff == f);
+    }
+    total += g.arcs_of_ff[static_cast<std::size_t>(f)].size();
+  }
+  std::size_t expected = 0;
+  for (const SeqArc& arc : g.arcs)
+    expected += arc.src_ff == arc.dst_ff ? 1u : 2u;
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace clktune::ssta
