@@ -2,54 +2,82 @@
 // distribution and prints yield curves for (a) no buffers, (b) the proposed
 // insertion, (c) a buffer on every flip-flop — showing where tuning pays
 // and where the unfixable tail takes over.
+//
+// The workload is declarative: examples/scenarios/yield_study.json is a
+// campaign document sweeping clock.sigma_offset, so the same study is
+// reproducible via `clktune sweep` (columns a and b) while this example adds
+// the every-FF oracle column on top of the library API.
 #include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
 
 #include "core/baselines.h"
-#include "core/engine.h"
 #include "feas/yield_eval.h"
-#include "mc/period_mc.h"
-#include "netlist/generator.h"
+#include "scenario/campaign.h"
+#include "scenario/scenario.h"
 #include "ssta/seq_graph.h"
+#include "util/env.h"
+#include "util/json.h"
 
 using namespace clktune;
 
-int main() {
-  netlist::SyntheticSpec spec;
-  spec.name = "yield_study";
-  spec.num_flipflops = 211;
-  spec.num_gates = 5597;
-  spec.seed = 0x5923401;
-  const netlist::Design design = netlist::generate(spec);
-  const ssta::SeqGraph graph = ssta::extract_seq_graph(design);
-  const mc::Sampler sampler(graph, 20160314);
-  const mc::PeriodStats period = mc::sample_min_period(sampler, 5000);
-  const mc::Sampler eval(graph, 5150);
+namespace {
 
-  std::printf("# yield curves for %s (mu=%.1f ps, sigma=%.1f ps)\n",
-              spec.name.c_str(), period.mu(), period.sigma());
-  std::printf("# sigma_offset  T_ps  original%%  proposed%%  every_ff%%  Nb\n");
-  for (double off = -1.0; off <= 3.01; off += 0.5) {
-    const double t = period.mu() + off * period.sigma();
+/// ctest/IDE working directories vary; look upward for the repo layout.
+util::Json load_campaign_document() {
+  const std::string rel = "examples/scenarios/yield_study.json";
+  std::string prefix;
+  for (int up = 0; up < 4; ++up) {
+    try {
+      return util::read_json_file(prefix + rel);
+    } catch (const util::JsonError&) {
+      throw;  // the file exists but is malformed — report that, not "missing"
+    } catch (const std::exception&) {
+      prefix += "../";
+    }
+  }
+  throw std::runtime_error("cannot locate " + rel +
+                           " (run from the repository root)");
+}
 
-    core::InsertionConfig config;
-    config.num_samples = 4000;
-    core::BufferInsertionEngine engine(design, graph, t, config);
-    const core::InsertionResult res = engine.run();
+}  // namespace
 
-    const double original =
-        feas::original_yield(graph, t, eval, 4000).yield;
-    const double proposed = feas::YieldEvaluator(graph, res.plan, t)
-                                .evaluate(eval, 4000)
-                                .yield;
-    const feas::TuningPlan all =
-        core::oracle_plan(graph, config.steps, engine.step_ps());
+int main() try {
+  const util::Json doc = load_campaign_document();
+  scenario::CampaignSpec campaign = scenario::CampaignSpec::from_json(doc);
+  campaign.threads =
+      static_cast<int>(util::env_long("CLKTUNE_THREADS", campaign.threads));
+
+  const std::vector<scenario::ScenarioSpec> specs = campaign.expand();
+  const scenario::CampaignSummary summary =
+      scenario::CampaignRunner(campaign).run();
+
+  std::printf("# %s: %zu scenarios from examples/scenarios/yield_study.json\n",
+              campaign.name.c_str(), specs.size());
+  std::printf("# setting  T_ps  original%%  proposed%%  every_ff%%  Nb\n");
+  for (std::size_t i = 0; i < summary.results.size(); ++i) {
+    const scenario::ScenarioResult& r = summary.results[i];
+
+    // The every-FF oracle column: full symmetric windows on every flip-flop,
+    // evaluated on the same out-of-sample chips as the scenario's report.
+    const netlist::Design design = specs[i].design.build();
+    const ssta::SeqGraph graph = ssta::extract_seq_graph(design);
+    const feas::TuningPlan all = core::oracle_plan(
+        graph, specs[i].insertion.steps, r.insertion.step_ps);
+    const mc::Sampler eval(graph, specs[i].evaluation.seed);
     const double everyff =
-        feas::YieldEvaluator(graph, all, t).evaluate(eval, 4000).yield;
+        feas::YieldEvaluator(graph, all, r.clock_period_ps)
+            .evaluate(eval, specs[i].evaluation.samples)
+            .yield;
 
-    std::printf("%6.1f  %8.1f  %8.2f  %8.2f  %8.2f  %3d\n", off, t,
-                100.0 * original, 100.0 * proposed, 100.0 * everyff,
-                res.plan.physical_buffers());
-    std::fflush(stdout);
+    std::printf("%9s  %8.1f  %8.2f  %8.2f  %8.2f  %3d\n", r.setting.c_str(),
+                r.clock_period_ps, 100.0 * r.yield.original.yield,
+                100.0 * r.yield.tuned.yield, 100.0 * everyff,
+                r.insertion.plan.physical_buffers());
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "yield_study: %s\n", e.what());
+  return 1;
 }

@@ -1,0 +1,213 @@
+// clktune — command-line driver for the scenario / campaign pipeline.
+//
+//   clktune run <scenario.json>    run one scenario, write a result artifact
+//   clktune sweep <campaign.json>  expand + run a parameter sweep
+//   clktune report <result.json>   render a saved artifact as a table
+//
+// Common options:
+//   -o, --output <path>   write the JSON artifact here (default: stdout)
+//   -t, --threads <n>     worker threads (default: hardware concurrency)
+//       --timings         include wall-clock fields (artifact is then no
+//                         longer bit-identical across runs)
+//       --compact         single-line JSON instead of pretty-printed
+//       --quiet           suppress progress lines on stderr
+//
+// Exit codes: 0 success, 1 usage error, 2 bad input file, 3 a scenario
+// missed its yield target.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "scenario/campaign.h"
+#include "scenario/scenario.h"
+#include "util/json.h"
+
+namespace {
+
+using clktune::util::Json;
+
+struct Options {
+  std::string command;
+  std::string input;
+  std::string output;
+  int threads = 0;
+  bool timings = false;
+  bool compact = false;
+  bool quiet = false;
+};
+
+void print_usage(std::FILE* to) {
+  std::fputs(
+      "usage: clktune <command> <file> [options]\n"
+      "\n"
+      "commands:\n"
+      "  run <scenario.json>    execute one scenario\n"
+      "  sweep <campaign.json>  expand and execute a parameter sweep\n"
+      "  report <result.json>   print a saved result artifact as a table\n"
+      "\n"
+      "options:\n"
+      "  -o, --output <path>    write the JSON artifact to <path>\n"
+      "  -t, --threads <n>      worker threads (0 = hardware concurrency)\n"
+      "      --timings          include wall-clock fields in artifacts\n"
+      "      --compact          single-line JSON output\n"
+      "      --quiet            no progress lines on stderr\n",
+      to);
+}
+
+int parse_options(int argc, char** argv, Options& opt) {
+  if (argc < 3) {
+    print_usage(stderr);
+    return 1;
+  }
+  opt.command = argv[1];
+  opt.input = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "-o" || arg == "--output") && i + 1 < argc) {
+      opt.output = argv[++i];
+    } else if ((arg == "-t" || arg == "--threads") && i + 1 < argc) {
+      opt.threads = std::atoi(argv[++i]);
+    } else if (arg == "--timings") {
+      opt.timings = true;
+    } else if (arg == "--compact") {
+      opt.compact = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      std::fprintf(stderr, "clktune: unknown option '%s'\n", arg.c_str());
+      print_usage(stderr);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+void emit(const Options& opt, const Json& artifact) {
+  const int indent = opt.compact ? -1 : 2;
+  if (opt.output.empty()) {
+    const std::string text = artifact.dump(indent);
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    clktune::util::write_json_file(opt.output, artifact, indent);
+    if (!opt.quiet)
+      std::fprintf(stderr, "clktune: wrote %s\n", opt.output.c_str());
+  }
+}
+
+int cmd_run(const Options& opt) {
+  const Json doc = clktune::util::read_json_file(opt.input);
+  const auto spec = clktune::scenario::ScenarioSpec::from_json(doc);
+  if (!opt.quiet)
+    std::fprintf(stderr, "clktune: running scenario %s\n", spec.name.c_str());
+  const clktune::scenario::ScenarioResult result =
+      clktune::scenario::run_scenario(spec, opt.threads);
+  emit(opt, result.to_json(opt.timings));
+  if (!opt.quiet)
+    std::fprintf(stderr,
+                 "clktune: %s  T=%.1f ps  Nb=%d  yield %.2f%% -> %.2f%%"
+                 "  (%.1f s)\n",
+                 result.name.c_str(), result.clock_period_ps,
+                 result.insertion.plan.physical_buffers(),
+                 100.0 * result.yield.original.yield,
+                 100.0 * result.yield.tuned.yield, result.seconds);
+  return result.met_target ? 0 : 3;
+}
+
+int cmd_sweep(const Options& opt) {
+  const Json doc = clktune::util::read_json_file(opt.input);
+  auto spec = clktune::scenario::CampaignSpec::from_json(doc);
+  if (opt.threads > 0) spec.threads = opt.threads;
+  const clktune::scenario::CampaignRunner runner(std::move(spec));
+  const std::size_t total = runner.spec().expansion_size();
+  if (!opt.quiet)
+    std::fprintf(stderr, "clktune: campaign %s, %zu scenarios\n",
+                 runner.spec().name.c_str(), total);
+
+  const clktune::scenario::CampaignSummary summary = runner.run(
+      [&](std::size_t index, const clktune::scenario::ScenarioResult& r) {
+        if (!opt.quiet)
+          std::fprintf(stderr,
+                       "clktune: [%zu/%zu] %s  yield %.2f%% -> %.2f%%\n",
+                       index + 1, total, r.name.c_str(),
+                       100.0 * r.yield.original.yield,
+                       100.0 * r.yield.tuned.yield);
+      });
+  emit(opt, summary.to_json(opt.timings));
+  if (!opt.quiet)
+    std::fprintf(stderr,
+                 "clktune: %llu scenarios, %llu missed target  (%.1f s)\n",
+                 static_cast<unsigned long long>(summary.scenarios_run),
+                 static_cast<unsigned long long>(summary.targets_missed),
+                 summary.total_seconds);
+  return summary.targets_missed == 0 ? 0 : 3;
+}
+
+/// Rebuilds a TableRow from a serialised scenario-result object.
+clktune::core::TableRow row_from_json(const Json& r) {
+  clktune::core::TableRow row;
+  row.circuit = r.at("name").as_string();
+  row.setting = r.at("setting").as_string();
+  row.clock_ps = r.at("clock_period_ps").as_double();
+  const Json& design = r.at("design");
+  row.ns = static_cast<int>(design.at("num_flipflops").as_int());
+  row.ng = static_cast<int>(design.at("num_gates").as_int());
+  const Json& plan = r.at("insertion").at("plan");
+  row.nb = static_cast<int>(plan.at("physical_buffers").as_int());
+  row.ab = plan.at("average_range").as_double();
+  const Json& yield = r.at("yield");
+  row.yield = 100.0 * yield.at("tuned").at("yield").as_double();
+  row.yield_original = 100.0 * yield.at("original").at("yield").as_double();
+  if (const Json* seconds = r.find("seconds"))
+    row.runtime_s = seconds->as_double();
+  return row;
+}
+
+int cmd_report(const Options& opt) {
+  const Json doc = clktune::util::read_json_file(opt.input);
+  std::vector<clktune::core::TableRow> rows;
+  if (doc.contains("results")) {
+    // Campaign summary.
+    for (const Json& r : doc.at("results").as_array())
+      rows.push_back(row_from_json(r));
+    std::printf("campaign %s: %llu scenarios, %llu missed target\n",
+                doc.at("name").as_string().c_str(),
+                static_cast<unsigned long long>(
+                    doc.at("scenarios_run").as_uint()),
+                static_cast<unsigned long long>(
+                    doc.at("targets_missed").as_uint()));
+  } else {
+    rows.push_back(row_from_json(doc));
+  }
+  std::ostringstream table;
+  clktune::core::print_table(table, rows);
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  const int usage = parse_options(argc, argv, opt);
+  if (usage != 0) return usage;
+  try {
+    if (opt.command == "run") return cmd_run(opt);
+    if (opt.command == "sweep") return cmd_sweep(opt);
+    if (opt.command == "report") return cmd_report(opt);
+    std::fprintf(stderr, "clktune: unknown command '%s'\n",
+                 opt.command.c_str());
+    print_usage(stderr);
+    return 1;
+  } catch (const clktune::util::JsonError& e) {
+    std::fprintf(stderr, "clktune: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clktune: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,45 @@
+// JSON serialisation of insertion results and yield reports, so experiment
+// outputs are machine-readable artifacts instead of printf logs.  The
+// scenario/campaign pipeline and the `clktune` CLI build on these.
+//
+// All writers are deterministic: member order is fixed and numbers are
+// emitted in shortest-round-trip form.  Wall-clock fields (`seconds`,
+// `total_seconds`) are only included when `include_timing` is set, so that
+// two runs with identical seeds produce bit-identical artifacts by default.
+#pragma once
+
+#include "core/engine.h"
+#include "core/report.h"
+#include "feas/yield_eval.h"
+#include "util/json.h"
+
+namespace clktune::core {
+
+/// One tuning buffer: window, reduced range, usage counters, group.
+util::Json buffer_info_json(const BufferInfo& info);
+
+/// Solver / sampling counters of one flow phase.
+util::Json phase_diagnostics_json(const PhaseDiagnostics& diag,
+                                  bool include_timing = false);
+
+/// Full insertion result: plan geometry, per-buffer detail, per-phase
+/// diagnostics and summary statistics.  Histograms and the correlation
+/// matrix are summarised (counts, support), not dumped cell by cell.
+util::Json insertion_result_json(const InsertionResult& result,
+                                 bool include_timing = false);
+
+/// Yield measurement (passing counts, yield, 95 % CI half-width).
+util::Json yield_result_json(const feas::YieldResult& result);
+
+/// Before/after yield report at one clock period.
+util::Json yield_report_json(const feas::YieldReport& report);
+
+/// Table-I row (used by campaign summaries).
+util::Json table_row_json(const TableRow& row, bool include_timing = false);
+
+/// Parses a plan serialised by insertion_result_json back into a TuningPlan
+/// (the "buffers" array plus "step_ps"); throws util::JsonError on shape
+/// errors.  This is what lets `clktune report` re-evaluate saved results.
+feas::TuningPlan tuning_plan_from_json(const util::Json& result_json);
+
+}  // namespace clktune::core

@@ -128,4 +128,20 @@ YieldResult original_yield(const ssta::SeqGraph& graph, double clock_period_ps,
   return eval.evaluate(sampler, samples, threads);
 }
 
+YieldReport evaluate_yield_report(const ssta::SeqGraph& graph,
+                                  const TuningPlan& plan,
+                                  double clock_period_ps,
+                                  std::uint64_t eval_seed,
+                                  std::uint64_t samples, int threads) {
+  YieldReport report;
+  report.clock_period_ps = clock_period_ps;
+  report.eval_seed = eval_seed;
+  const mc::Sampler sampler(graph, eval_seed);
+  report.original =
+      original_yield(graph, clock_period_ps, sampler, samples, threads);
+  report.tuned = YieldEvaluator(graph, plan, clock_period_ps)
+                     .evaluate(sampler, samples, threads);
+  return report;
+}
+
 }  // namespace clktune::feas

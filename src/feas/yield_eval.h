@@ -66,4 +66,25 @@ YieldResult original_yield(const ssta::SeqGraph& graph, double clock_period_ps,
                            const mc::Sampler& sampler, std::uint64_t samples,
                            int threads = 0);
 
+/// Before/after yield measurement of a tuning plan at one clock period,
+/// evaluated out-of-sample (its own seed): the paper's Yo, Y and Yi columns
+/// as one machine-readable artifact.
+struct YieldReport {
+  double clock_period_ps = 0.0;
+  std::uint64_t eval_seed = 0;
+  YieldResult original;  ///< Yo: no buffers
+  YieldResult tuned;     ///< Y: with the plan's buffers
+
+  /// Yi = Y - Yo, in probability (not percent).
+  double improvement() const { return tuned.yield - original.yield; }
+};
+
+/// Evaluates original and tuned yield over `samples` fresh Monte-Carlo chips
+/// drawn with `eval_seed`.
+YieldReport evaluate_yield_report(const ssta::SeqGraph& graph,
+                                  const TuningPlan& plan,
+                                  double clock_period_ps,
+                                  std::uint64_t eval_seed,
+                                  std::uint64_t samples, int threads = 0);
+
 }  // namespace clktune::feas

@@ -312,8 +312,10 @@ Design generate(const SyntheticSpec& spec) {
       // XOR is slow; keep it rare even within 2-input picks.
       if (design.library.cell(cell).name == "XOR" && rng.next_double() < 0.6)
         cell = cells2[0];
-      materialized[static_cast<std::size_t>(k)] = nl.add_gate(
-          cell, "g" + std::to_string(slot.serial), std::move(fanins));
+      std::string gate_name = std::to_string(slot.serial);
+      gate_name.insert(0, 1, 'g');
+      materialized[static_cast<std::size_t>(k)] =
+          nl.add_gate(cell, std::move(gate_name), std::move(fanins));
     }
     nl.set_ff_driver(ffs[static_cast<std::size_t>(f)], materialized[0]);
   }

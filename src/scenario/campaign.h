@@ -1,0 +1,98 @@
+// Campaigns: parameter sweeps over a base scenario, executed as one batch.
+//
+// A campaign document holds a base scenario plus sweep axes; the cross
+// product of all axis values is expanded into a concrete scenario list
+// (EffiTest-style circuits x variation settings evaluation grids).  Example:
+//
+//   {
+//     "name": "paper_table1",
+//     "base": { ... ScenarioSpec ... },
+//     "sweep": {
+//       "design.paper_circuit": ["s9234", "s13207"],
+//       "clock.sigma_offset": [0, 1, 2],
+//       "insertion.num_samples": [1000, 10000]
+//     },
+//     "threads": 0,
+//     "seed_stride": 1
+//   }
+//
+// Sweep keys are dotted paths into the scenario document; each expanded
+// scenario gets a deterministic name suffix and (via seed_stride) a
+// deterministic, distinct sample seed, so campaign results are reproducible
+// bit for bit regardless of how many worker threads execute them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "util/json.h"
+
+namespace clktune::scenario {
+
+/// One sweep axis: dotted scenario path + the values it takes.
+struct SweepAxis {
+  std::string path;
+  std::vector<util::Json> values;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  util::Json base = util::Json::object();  ///< base scenario document
+  std::vector<SweepAxis> axes;             ///< in declaration order
+  /// Worker threads across scenarios; 0 = hardware concurrency.
+  int threads = 0;
+  /// Each expanded scenario i gets sample_seed += i * seed_stride (0 keeps
+  /// every scenario on the base seed).
+  std::uint64_t seed_stride = 1;
+
+  static CampaignSpec from_json(const util::Json& j);
+  util::Json to_json() const;
+
+  /// Number of scenarios the sweep expands to (product of axis sizes);
+  /// throws util::JsonError above 100000.  O(#axes).
+  std::size_t expansion_size() const;
+
+  /// Cross-product expansion into validated scenario specs.  Throws
+  /// util::JsonError when an axis path is unknown or a combination fails
+  /// ScenarioSpec validation.  An explicit "insertion.sample_seed" sweep
+  /// axis overrides the seed_stride policy.
+  std::vector<ScenarioSpec> expand() const;
+};
+
+struct CampaignSummary {
+  std::string name;
+  std::vector<ScenarioResult> results;  ///< in expansion order
+  std::uint64_t scenarios_run = 0;
+  std::uint64_t targets_missed = 0;
+  double total_seconds = 0.0;  ///< wall clock of the whole batch
+
+  /// Deterministic (timing-free) by default.
+  util::Json to_json(bool include_timing = false) const;
+};
+
+/// Progress callback: (index into the expansion, result) — invoked from
+/// worker threads as scenarios finish; may be empty.
+using ScenarioCallback =
+    std::function<void(std::size_t, const ScenarioResult&)>;
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {}
+
+  /// Expands the sweep and executes all scenarios.  Scenarios run
+  /// concurrently via util::parallel_chunks, one inner thread each, and the
+  /// summary collects results in expansion order — the output is a pure
+  /// function of the campaign document.
+  CampaignSummary run(const ScenarioCallback& on_done = {}) const;
+
+  const CampaignSpec& spec() const { return spec_; }
+
+ private:
+  CampaignSpec spec_;
+};
+
+}  // namespace clktune::scenario

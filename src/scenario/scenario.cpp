@@ -1,0 +1,484 @@
+#include "scenario/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "core/report_json.h"
+#include "mc/period_mc.h"
+#include "mc/sampler.h"
+#include "netlist/bench_io.h"
+#include "netlist/nominal_sta.h"
+#include "netlist/paper_circuits.h"
+#include "ssta/seq_graph.h"
+#include "util/timer.h"
+
+namespace clktune::scenario {
+
+using util::Json;
+using util::JsonError;
+
+namespace {
+
+/// Object reader that tracks which keys were consumed and rejects unknown
+/// members, so a typo'd key fails loudly instead of silently running with
+/// defaults.
+class ObjectReader {
+ public:
+  ObjectReader(const Json& j, std::string context)
+      : json_(j), context_(std::move(context)) {
+    if (!j.is_object())
+      throw JsonError(context_ + ": expected a JSON object");
+  }
+
+  const Json* find(const std::string& key) {
+    consumed_.push_back(key);
+    return json_.find(key);
+  }
+
+  bool read(const std::string& key, double& out) {
+    const Json* v = find(key);
+    if (v == nullptr) return false;
+    out = v->as_double();
+    return true;
+  }
+  bool read(const std::string& key, int& out) {
+    const Json* v = find(key);
+    if (v == nullptr) return false;
+    out = static_cast<int>(v->as_int());
+    return true;
+  }
+  bool read(const std::string& key, long& out) {
+    const Json* v = find(key);
+    if (v == nullptr) return false;
+    out = static_cast<long>(v->as_int());
+    return true;
+  }
+  bool read(const std::string& key, std::uint64_t& out) {
+    const Json* v = find(key);
+    if (v == nullptr) return false;
+    out = v->as_uint();
+    return true;
+  }
+  bool read(const std::string& key, bool& out) {
+    const Json* v = find(key);
+    if (v == nullptr) return false;
+    out = v->as_bool();
+    return true;
+  }
+  bool read(const std::string& key, std::string& out) {
+    const Json* v = find(key);
+    if (v == nullptr) return false;
+    out = v->as_string();
+    return true;
+  }
+  bool read(const std::string& key, std::optional<double>& out) {
+    const Json* v = find(key);
+    if (v == nullptr) return false;
+    out = v->as_double();
+    return true;
+  }
+
+  /// Call after all read()s: any member never asked for is an error.
+  void reject_unknown() const {
+    for (const auto& [key, value] : json_.as_object()) {
+      bool known = false;
+      for (const std::string& c : consumed_)
+        if (c == key) {
+          known = true;
+          break;
+        }
+      if (!known)
+        throw JsonError(context_ + ": unknown key \"" + key + "\"");
+    }
+  }
+
+ private:
+  const Json& json_;
+  std::string context_;
+  std::vector<std::string> consumed_;
+};
+
+netlist::SyntheticSpec synthetic_from_json(const Json& j) {
+  netlist::SyntheticSpec s;
+  ObjectReader r(j, "design.synthetic");
+  r.read("name", s.name);
+  r.read("num_flipflops", s.num_flipflops);
+  r.read("num_gates", s.num_gates);
+  r.read("seed", s.seed);
+  r.read("avg_sources", s.avg_sources);
+  r.read("self_loop_prob", s.self_loop_prob);
+  r.read("deep_self_loop_frac", s.deep_self_loop_frac);
+  r.read("cone_size_sigma", s.cone_size_sigma);
+  r.read("forced_deep_fraction", s.forced_deep_fraction);
+  r.read("min_depth", s.min_depth);
+  r.read("max_depth", s.max_depth);
+  r.read("skew_amplitude_factor", s.skew_amplitude_factor);
+  r.read("skew_noise_ps", s.skew_noise_ps);
+  r.read("skew_wavelength_factor", s.skew_wavelength_factor);
+  r.read("pi_tap_prob", s.pi_tap_prob);
+  r.read("num_primary_inputs", s.num_primary_inputs);
+  r.read("num_primary_outputs", s.num_primary_outputs);
+  r.reject_unknown();
+  return s;
+}
+
+Json synthetic_to_json(const netlist::SyntheticSpec& s) {
+  const netlist::SyntheticSpec defaults;
+  Json j = Json::object();
+  j.set("name", s.name);
+  j.set("num_flipflops", s.num_flipflops);
+  j.set("num_gates", s.num_gates);
+  j.set("seed", s.seed);
+  // Shape knobs only when they differ from defaults, to keep specs small.
+  if (s.avg_sources != defaults.avg_sources)
+    j.set("avg_sources", s.avg_sources);
+  if (s.self_loop_prob != defaults.self_loop_prob)
+    j.set("self_loop_prob", s.self_loop_prob);
+  if (s.deep_self_loop_frac != defaults.deep_self_loop_frac)
+    j.set("deep_self_loop_frac", s.deep_self_loop_frac);
+  if (s.cone_size_sigma != defaults.cone_size_sigma)
+    j.set("cone_size_sigma", s.cone_size_sigma);
+  if (s.forced_deep_fraction != defaults.forced_deep_fraction)
+    j.set("forced_deep_fraction", s.forced_deep_fraction);
+  if (s.min_depth != defaults.min_depth) j.set("min_depth", s.min_depth);
+  if (s.max_depth != defaults.max_depth) j.set("max_depth", s.max_depth);
+  if (s.skew_amplitude_factor != defaults.skew_amplitude_factor)
+    j.set("skew_amplitude_factor", s.skew_amplitude_factor);
+  if (s.skew_noise_ps != defaults.skew_noise_ps)
+    j.set("skew_noise_ps", s.skew_noise_ps);
+  if (s.skew_wavelength_factor != defaults.skew_wavelength_factor)
+    j.set("skew_wavelength_factor", s.skew_wavelength_factor);
+  if (s.pi_tap_prob != defaults.pi_tap_prob)
+    j.set("pi_tap_prob", s.pi_tap_prob);
+  if (s.num_primary_inputs != defaults.num_primary_inputs)
+    j.set("num_primary_inputs", s.num_primary_inputs);
+  if (s.num_primary_outputs != defaults.num_primary_outputs)
+    j.set("num_primary_outputs", s.num_primary_outputs);
+  return j;
+}
+
+core::InsertionConfig insertion_from_json(const Json& j) {
+  core::InsertionConfig c;
+  ObjectReader r(j, "insertion");
+  r.read("num_samples", c.num_samples);
+  r.read("sample_seed", c.sample_seed);
+  r.read("steps", c.steps);
+  r.read("max_range_ps", c.max_range_ps);
+  r.read("prune_usage_max_per_10k", c.prune_usage_max_per_10k);
+  r.read("critical_usage_per_10k", c.critical_usage_per_10k);
+  r.read("final_usage_min_per_10k", c.final_usage_min_per_10k);
+  r.read("window_skip_fraction", c.window_skip_fraction);
+  r.read("corr_threshold", c.corr_threshold);
+  r.read("dist_factor", c.dist_factor);
+  r.read("max_buffers", c.max_buffers);
+  r.read("average_nonzero_only", c.average_nonzero_only);
+  r.read("enable_concentration", c.enable_concentration);
+  r.read("enable_pruning", c.enable_pruning);
+  r.read("enable_grouping", c.enable_grouping);
+  r.read("milp_max_nodes", c.milp_max_nodes);
+  r.reject_unknown();
+  return c;
+}
+
+Json insertion_to_json(const core::InsertionConfig& c) {
+  const core::InsertionConfig defaults;
+  Json j = Json::object();
+  j.set("num_samples", c.num_samples);
+  j.set("sample_seed", c.sample_seed);
+  j.set("steps", c.steps);
+  if (c.max_range_ps != defaults.max_range_ps)
+    j.set("max_range_ps", c.max_range_ps);
+  if (c.prune_usage_max_per_10k != defaults.prune_usage_max_per_10k)
+    j.set("prune_usage_max_per_10k", c.prune_usage_max_per_10k);
+  if (c.critical_usage_per_10k != defaults.critical_usage_per_10k)
+    j.set("critical_usage_per_10k", c.critical_usage_per_10k);
+  if (c.final_usage_min_per_10k != defaults.final_usage_min_per_10k)
+    j.set("final_usage_min_per_10k", c.final_usage_min_per_10k);
+  if (c.window_skip_fraction != defaults.window_skip_fraction)
+    j.set("window_skip_fraction", c.window_skip_fraction);
+  if (c.corr_threshold != defaults.corr_threshold)
+    j.set("corr_threshold", c.corr_threshold);
+  if (c.dist_factor != defaults.dist_factor)
+    j.set("dist_factor", c.dist_factor);
+  if (c.max_buffers != defaults.max_buffers)
+    j.set("max_buffers", c.max_buffers);
+  if (c.average_nonzero_only != defaults.average_nonzero_only)
+    j.set("average_nonzero_only", c.average_nonzero_only);
+  if (c.enable_concentration != defaults.enable_concentration)
+    j.set("enable_concentration", c.enable_concentration);
+  if (c.enable_pruning != defaults.enable_pruning)
+    j.set("enable_pruning", c.enable_pruning);
+  if (c.enable_grouping != defaults.enable_grouping)
+    j.set("enable_grouping", c.enable_grouping);
+  if (c.milp_max_nodes != defaults.milp_max_nodes)
+    j.set("milp_max_nodes", c.milp_max_nodes);
+  return j;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- DesignSource
+
+netlist::Design DesignSource::build() const {
+  switch (kind) {
+    case DesignSourceKind::bench_file: {
+      netlist::Design design = netlist::read_bench_file(bench_path);
+      if (skew_sigma_factor > 0.0) {
+        const double t0 = netlist::nominal_min_period(design);
+        netlist::apply_synthetic_skew(design, skew_sigma_factor * t0,
+                                      skew_seed);
+      }
+      return design;
+    }
+    case DesignSourceKind::synthetic:
+      return netlist::generate(synthetic);
+    case DesignSourceKind::paper_circuit: {
+      const std::optional<netlist::SyntheticSpec> spec =
+          netlist::paper_circuit_spec(paper_circuit);
+      if (!spec)
+        throw JsonError("design: unknown paper circuit \"" + paper_circuit +
+                        "\"");
+      return netlist::generate(*spec);
+    }
+  }
+  throw JsonError("design: invalid source kind");
+}
+
+void VariationOverrides::apply(netlist::Design& design) const {
+  netlist::VariationModel& vm = design.library.variation();
+  if (local_sigma) vm.local_sigma = *local_sigma;
+  if (regional_sigma) vm.regional_sigma = *regional_sigma;
+  if (global_sens_scale)
+    for (double& s : vm.global_sens) s *= *global_sens_scale;
+}
+
+std::string ClockPolicy::label() const {
+  if (period_ps) return "fixed";
+  if (sigma_offset == 0.0) return "muT";
+  if (sigma_offset == 1.0) return "muT+s";
+  if (sigma_offset == -1.0) return "muT-s";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "muT%+gs", sigma_offset);
+  return buf;
+}
+
+// ----------------------------------------------------------- ScenarioSpec
+
+ScenarioSpec ScenarioSpec::from_json(const Json& j) {
+  ScenarioSpec spec;
+  ObjectReader r(j, "scenario");
+  r.read("name", spec.name);
+
+  const Json* design = r.find("design");
+  if (design == nullptr) throw JsonError("scenario: missing \"design\"");
+  {
+    ObjectReader dr(*design, "design");
+    const Json* bench = dr.find("bench_file");
+    const Json* synth = dr.find("synthetic");
+    const Json* paper = dr.find("paper_circuit");
+    const int sources = (bench != nullptr) + (synth != nullptr) +
+                        (paper != nullptr);
+    if (sources != 1)
+      throw JsonError(
+          "design: exactly one of bench_file / synthetic / paper_circuit "
+          "is required");
+    if (bench != nullptr) {
+      spec.design.kind = DesignSourceKind::bench_file;
+      spec.design.bench_path = bench->as_string();
+      dr.read("skew_sigma_factor", spec.design.skew_sigma_factor);
+      dr.read("skew_seed", spec.design.skew_seed);
+    } else if (synth != nullptr) {
+      spec.design.kind = DesignSourceKind::synthetic;
+      spec.design.synthetic = synthetic_from_json(*synth);
+    } else {
+      spec.design.kind = DesignSourceKind::paper_circuit;
+      spec.design.paper_circuit = paper->as_string();
+    }
+    dr.reject_unknown();
+  }
+
+  if (const Json* variation = r.find("variation")) {
+    ObjectReader vr(*variation, "variation");
+    vr.read("local_sigma", spec.variation.local_sigma);
+    vr.read("regional_sigma", spec.variation.regional_sigma);
+    vr.read("global_sens_scale", spec.variation.global_sens_scale);
+    vr.reject_unknown();
+  }
+
+  if (const Json* clock = r.find("clock")) {
+    ObjectReader cr(*clock, "clock");
+    cr.read("period_ps", spec.clock.period_ps);
+    cr.read("sigma_offset", spec.clock.sigma_offset);
+    cr.read("period_samples", spec.clock.period_samples);
+    cr.read("period_seed", spec.clock.period_seed);
+    cr.reject_unknown();
+  }
+
+  if (const Json* insertion = r.find("insertion"))
+    spec.insertion = insertion_from_json(*insertion);
+
+  if (const Json* evaluation = r.find("evaluation")) {
+    ObjectReader er(*evaluation, "evaluation");
+    er.read("samples", spec.evaluation.samples);
+    er.read("seed", spec.evaluation.seed);
+    er.reject_unknown();
+  }
+
+  r.read("yield_target", spec.yield_target);
+  r.reject_unknown();
+  spec.validate();
+  return spec;
+}
+
+Json ScenarioSpec::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+
+  Json d = Json::object();
+  switch (design.kind) {
+    case DesignSourceKind::bench_file:
+      d.set("bench_file", design.bench_path);
+      d.set("skew_sigma_factor", design.skew_sigma_factor);
+      d.set("skew_seed", design.skew_seed);
+      break;
+    case DesignSourceKind::synthetic:
+      d.set("synthetic", synthetic_to_json(design.synthetic));
+      break;
+    case DesignSourceKind::paper_circuit:
+      d.set("paper_circuit", design.paper_circuit);
+      break;
+  }
+  j.set("design", std::move(d));
+
+  if (variation.any()) {
+    Json v = Json::object();
+    if (variation.local_sigma) v.set("local_sigma", *variation.local_sigma);
+    if (variation.regional_sigma)
+      v.set("regional_sigma", *variation.regional_sigma);
+    if (variation.global_sens_scale)
+      v.set("global_sens_scale", *variation.global_sens_scale);
+    j.set("variation", std::move(v));
+  }
+
+  Json c = Json::object();
+  if (clock.period_ps) {
+    c.set("period_ps", *clock.period_ps);
+  } else {
+    c.set("sigma_offset", clock.sigma_offset);
+    c.set("period_samples", clock.period_samples);
+    c.set("period_seed", clock.period_seed);
+  }
+  j.set("clock", std::move(c));
+
+  j.set("insertion", insertion_to_json(insertion));
+
+  Json e = Json::object();
+  e.set("samples", evaluation.samples);
+  e.set("seed", evaluation.seed);
+  j.set("evaluation", std::move(e));
+
+  if (yield_target) j.set("yield_target", *yield_target);
+  return j;
+}
+
+void ScenarioSpec::validate() const {
+  const auto bad = [](const std::string& msg) {
+    throw JsonError("scenario: " + msg);
+  };
+  if (name.empty()) bad("name must not be empty");
+  if (design.kind == DesignSourceKind::bench_file &&
+      design.bench_path.empty())
+    bad("design.bench_file must not be empty");
+  if (design.kind == DesignSourceKind::synthetic) {
+    if (design.synthetic.num_flipflops < 2)
+      bad("design.synthetic.num_flipflops must be >= 2");
+    if (design.synthetic.num_gates < design.synthetic.num_flipflops)
+      bad("design.synthetic.num_gates must be >= num_flipflops");
+  }
+  if (clock.period_ps && *clock.period_ps <= 0.0)
+    bad("clock.period_ps must be positive");
+  if (!clock.period_ps && clock.period_samples < 2)
+    bad("clock.period_samples must be >= 2");
+  if (insertion.num_samples == 0) bad("insertion.num_samples must be >= 1");
+  if (insertion.steps < 1) bad("insertion.steps must be >= 1");
+  if (insertion.window_skip_fraction < 0.0 ||
+      insertion.window_skip_fraction > 1.0)
+    bad("insertion.window_skip_fraction must be in [0, 1]");
+  if (insertion.corr_threshold < -1.0 || insertion.corr_threshold > 1.0)
+    bad("insertion.corr_threshold must be in [-1, 1]");
+  if (evaluation.samples == 0) bad("evaluation.samples must be >= 1");
+  if (yield_target && (*yield_target < 0.0 || *yield_target > 1.0))
+    bad("yield_target must be in [0, 1]");
+  if (variation.local_sigma && *variation.local_sigma < 0.0)
+    bad("variation.local_sigma must be >= 0");
+  if (variation.regional_sigma && *variation.regional_sigma < 0.0)
+    bad("variation.regional_sigma must be >= 0");
+  if (variation.global_sens_scale && *variation.global_sens_scale < 0.0)
+    bad("variation.global_sens_scale must be >= 0");
+}
+
+// --------------------------------------------------------- ScenarioResult
+
+Json ScenarioResult::to_json(bool include_timing) const {
+  Json j = Json::object();
+  j.set("name", name);
+  j.set("setting", setting);
+  j.set("clock_period_ps", clock_period_ps);
+  j.set("period_mu_ps", period_mu_ps);
+  j.set("period_sigma_ps", period_sigma_ps);
+  Json d = Json::object();
+  d.set("num_flipflops", num_flipflops);
+  d.set("num_gates", num_gates);
+  d.set("num_arcs", static_cast<std::uint64_t>(num_arcs));
+  j.set("design", std::move(d));
+  j.set("insertion", core::insertion_result_json(insertion, include_timing));
+  j.set("yield", core::yield_report_json(yield));
+  j.set("met_target", met_target);
+  if (include_timing) j.set("seconds", seconds);
+  return j;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, int threads) {
+  const util::Stopwatch timer;
+  spec.validate();
+
+  netlist::Design design = spec.design.build();
+  spec.variation.apply(design);
+  const ssta::SeqGraph graph = ssta::extract_seq_graph(design);
+
+  ScenarioResult result;
+  result.name = spec.name;
+  result.setting = spec.clock.label();
+  result.num_flipflops = graph.num_ffs;
+  result.num_gates = static_cast<int>(design.netlist.gates().size());
+  result.num_arcs = graph.arcs.size();
+
+  double period = 0.0;
+  if (spec.clock.period_ps) {
+    period = *spec.clock.period_ps;
+  } else {
+    const mc::Sampler period_sampler(graph, spec.clock.period_seed);
+    const mc::PeriodStats stats = mc::sample_min_period(
+        period_sampler, spec.clock.period_samples, threads);
+    result.period_mu_ps = stats.mu();
+    result.period_sigma_ps = stats.sigma();
+    period = stats.mu() + spec.clock.sigma_offset * stats.sigma();
+  }
+  result.clock_period_ps = period;
+
+  core::InsertionConfig config = spec.insertion;
+  if (threads > 0) config.threads = threads;
+  core::BufferInsertionEngine engine(design, graph, period, config);
+  result.insertion = engine.run();
+
+  result.yield = feas::evaluate_yield_report(
+      graph, result.insertion.plan, period, spec.evaluation.seed,
+      spec.evaluation.samples, threads);
+  result.met_target =
+      !spec.yield_target || result.yield.tuned.yield >= *spec.yield_target;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace clktune::scenario

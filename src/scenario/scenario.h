@@ -1,0 +1,139 @@
+// Declarative experiment scenarios.
+//
+// A ScenarioSpec is everything needed to reproduce one experiment of the
+// paper's kind — design source, variation model, clock-period policy,
+// insertion configuration and evaluation budget — parsed from a small JSON
+// document.  Running a scenario executes the full flow (design → sequential
+// graph → period distribution → buffer insertion → out-of-sample yield
+// report) and yields a machine-readable ScenarioResult.
+//
+// Example scenario document:
+//
+//   {
+//     "name": "s9234_muT",
+//     "design": {"paper_circuit": "s9234"},
+//     "clock": {"sigma_offset": 0.0, "period_samples": 5000,
+//               "period_seed": 20160314},
+//     "insertion": {"num_samples": 10000, "steps": 20},
+//     "evaluation": {"samples": 10000, "seed": 5150},
+//     "yield_target": 0.95
+//   }
+//
+// Design sources (exactly one member of "design"):
+//   {"bench_file": "path.bench", "skew_sigma_factor": 0.05, "skew_seed": 3}
+//   {"synthetic": { ... netlist::SyntheticSpec fields ... }}
+//   {"paper_circuit": "s9234"}
+//
+// The clock policy is either an absolute {"period_ps": 812.0} or the
+// paper's derived form {"sigma_offset": k} meaning T = muT + k * sigmaT of
+// the sampled zero-tuning minimum-period distribution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/engine.h"
+#include "core/insertion_config.h"
+#include "feas/yield_eval.h"
+#include "netlist/generator.h"
+#include "netlist/netlist.h"
+#include "util/json.h"
+
+namespace clktune::scenario {
+
+/// Where the design under test comes from.
+enum class DesignSourceKind { bench_file, synthetic, paper_circuit };
+
+struct DesignSource {
+  DesignSourceKind kind = DesignSourceKind::synthetic;
+  /// bench_file source: path plus the paper's "added clock skews"
+  /// (sigma = skew_sigma_factor * nominal min period, seeded).
+  std::string bench_path;
+  double skew_sigma_factor = 0.05;
+  std::uint64_t skew_seed = 1;
+  /// synthetic source: full generator spec.
+  netlist::SyntheticSpec synthetic;
+  /// paper_circuit source: a name from netlist::paper_circuit_specs().
+  std::string paper_circuit;
+
+  /// Materialises the design (generation or file I/O + skew injection).
+  netlist::Design build() const;
+};
+
+/// Optional overrides of the library's process-variation model; unset
+/// members keep the library defaults.
+struct VariationOverrides {
+  std::optional<double> local_sigma;
+  std::optional<double> regional_sigma;
+  std::optional<double> global_sens_scale;  ///< scales all three sensitivities
+
+  bool any() const {
+    return local_sigma || regional_sigma || global_sens_scale;
+  }
+  void apply(netlist::Design& design) const;
+};
+
+/// How the target clock period is chosen.
+struct ClockPolicy {
+  /// Absolute period (ps); when unset, derived as mu + sigma_offset * sigma
+  /// of the sampled minimum-period distribution.
+  std::optional<double> period_ps;
+  double sigma_offset = 0.0;
+  std::uint64_t period_samples = 5000;
+  std::uint64_t period_seed = 20160314;
+
+  /// The paper's setting label ("muT", "muT+s", "muT+2s", or "fixed").
+  std::string label() const;
+};
+
+struct EvaluationBudget {
+  std::uint64_t samples = 10000;
+  std::uint64_t seed = 5150;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  DesignSource design;
+  VariationOverrides variation;
+  ClockPolicy clock;
+  core::InsertionConfig insertion;
+  EvaluationBudget evaluation;
+  /// Optional acceptance bar on tuned yield (probability); scenarios whose
+  /// tuned yield falls below are flagged in results and campaign summaries.
+  std::optional<double> yield_target;
+
+  /// Parses and validates a scenario document; throws util::JsonError on
+  /// malformed or out-of-range input (unknown keys are rejected so typos
+  /// fail loudly instead of silently running defaults).
+  static ScenarioSpec from_json(const util::Json& j);
+  util::Json to_json() const;
+
+  /// Throws util::JsonError when any field is out of range.
+  void validate() const;
+};
+
+/// Everything a scenario run produces.
+struct ScenarioResult {
+  std::string name;
+  std::string setting;  ///< clock policy label
+  double clock_period_ps = 0.0;
+  double period_mu_ps = 0.0;     ///< sampled minimum-period mean
+  double period_sigma_ps = 0.0;  ///< and standard deviation
+  int num_flipflops = 0;
+  int num_gates = 0;
+  std::size_t num_arcs = 0;
+  core::InsertionResult insertion;
+  feas::YieldReport yield;
+  bool met_target = true;  ///< tuned yield >= yield_target (if set)
+  double seconds = 0.0;    ///< wall-clock (excluded from deterministic JSON)
+
+  /// Deterministic by default; timing fields only with `include_timing`.
+  util::Json to_json(bool include_timing = false) const;
+};
+
+/// Executes one scenario start to finish.  `threads` caps worker threads
+/// for the inner (per-scenario) parallel loops; 0 = hardware concurrency.
+ScenarioResult run_scenario(const ScenarioSpec& spec, int threads = 0);
+
+}  // namespace clktune::scenario
