@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_solver_test.dir/tests/core_solver_test.cpp.o"
+  "CMakeFiles/core_solver_test.dir/tests/core_solver_test.cpp.o.d"
+  "core_solver_test"
+  "core_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

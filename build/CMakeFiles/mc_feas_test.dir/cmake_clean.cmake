@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_feas_test.dir/tests/mc_feas_test.cpp.o"
+  "CMakeFiles/mc_feas_test.dir/tests/mc_feas_test.cpp.o.d"
+  "mc_feas_test"
+  "mc_feas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_feas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;60;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(lp_test "/root/repo/build/lp_test")
+set_tests_properties(lp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;60;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(milp_test "/root/repo/build/milp_test")
+set_tests_properties(milp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;60;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(ssta_test "/root/repo/build/ssta_test")
+set_tests_properties(ssta_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;60;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(netlist_test "/root/repo/build/netlist_test")
+set_tests_properties(netlist_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;60;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(mc_feas_test "/root/repo/build/mc_feas_test")
+set_tests_properties(mc_feas_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;60;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_solver_test "/root/repo/build/core_solver_test")
+set_tests_properties(core_solver_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;60;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_engine_test "/root/repo/build/core_engine_test")
+set_tests_properties(core_engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;60;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;60;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(scenario_test "/root/repo/build/scenario_test")
+set_tests_properties(scenario_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;60;add_test;/root/repo/CMakeLists.txt;0;")
