@@ -1,0 +1,144 @@
+#include "cache/result_cache.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "util/sha256.h"
+
+namespace clktune::cache {
+
+using util::Json;
+
+namespace {
+
+/// Bumped whenever the artifact schema or the flow's numeric behaviour
+/// changes, so stale entries read as misses instead of wrong answers.
+constexpr const char* kSchemaSalt = "clktune-scenario-result-v1\n";
+
+}  // namespace
+
+Json CacheStats::to_json() const {
+  Json j = Json::object();
+  j.set("hits", hits);
+  j.set("misses", misses);
+  j.set("memory_hits", memory_hits);
+  j.set("disk_hits", disk_hits);
+  j.set("evictions", evictions);
+  j.set("puts", puts);
+  return j;
+}
+
+std::string scenario_cache_key(const scenario::ScenarioSpec& spec) {
+  util::Sha256 hasher;
+  hasher.update(kSchemaSalt);
+  hasher.update(util::canonical_dump(spec.to_json()));
+  if (spec.design.kind == scenario::DesignSourceKind::bench_file) {
+    // The document only names the .bench file; the result depends on its
+    // bytes, so hash them too — editing the netlist must change the key
+    // (and the same path from different working directories must not
+    // collide on content that differs).
+    std::ifstream in(spec.design.bench_path, std::ios::binary);
+    if (!in)
+      throw std::runtime_error("cache: cannot open " + spec.design.bench_path);
+    char chunk[4096];
+    while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0)
+      hasher.update(chunk, static_cast<std::size_t>(in.gcount()));
+  }
+  return hasher.hex_digest();
+}
+
+ResultCache::ResultCache(std::string directory, std::size_t memory_capacity)
+    : directory_(std::move(directory)), memory_capacity_(memory_capacity) {
+  if (!directory_.empty())
+    std::filesystem::create_directories(directory_);
+}
+
+std::string ResultCache::artifact_path(const std::string& key) const {
+  return directory_ + "/" + key + ".json";
+}
+
+void ResultCache::insert_memory_locked(const std::string& key,
+                                       const Json& artifact) {
+  if (memory_capacity_ == 0) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = artifact;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, artifact);
+  index_[key] = lru_.begin();
+  while (lru_.size() > memory_capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::optional<Json> ResultCache::get(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      ++stats_.memory_hits;
+      return it->second->second;
+    }
+  }
+  if (!directory_.empty()) {
+    try {
+      Json artifact = util::read_json_file(artifact_path(key));
+      std::lock_guard<std::mutex> lock(mutex_);
+      insert_memory_locked(key, artifact);
+      ++stats_.hits;
+      ++stats_.disk_hits;
+      return artifact;
+    } catch (const std::exception&) {
+      // Missing or corrupt artifact: fall through to a miss.
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::put(const std::string& key, const Json& artifact) {
+  if (!directory_.empty()) {
+    // Write-then-rename so concurrent readers never see a torn artifact.
+    // The temp name is unique per writer (pid + counter): two processes or
+    // threads racing on the same key must not interleave into one file.
+    static std::atomic<std::uint64_t> sequence{0};
+    const std::string final_path = artifact_path(key);
+    std::string tmp_path = final_path;
+    tmp_path += ".tmp.";
+    tmp_path += std::to_string(::getpid());
+    tmp_path += '.';
+    tmp_path += std::to_string(sequence.fetch_add(1));
+    util::write_json_file(tmp_path, artifact, /*indent=*/-1);
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) std::remove(tmp_path.c_str());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  insert_memory_locked(key, artifact);
+  ++stats_.puts;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::memory_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace clktune::cache

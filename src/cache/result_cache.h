@@ -1,0 +1,84 @@
+// Content-addressed result store for scenario artifacts.
+//
+// The flow is a pure function of the scenario document, so a result can be
+// keyed by the document alone: the key is the SHA-256 of the canonical JSON
+// (sorted members, compact) of the *resolved* spec — ScenarioSpec::to_json()
+// after parsing, which normalises member order, fills defaults and drops
+// redundant knobs — salted with a schema version so artifact-format changes
+// invalidate old entries instead of mis-serving them.
+//
+// Two layers back the store: a bounded in-memory LRU for the hot set, and an
+// optional on-disk artifact directory (one `<key>.json` per result, written
+// atomically via rename) that persists across processes and can be shared by
+// concurrent clktune invocations.  `CampaignRunner` consults the cache per
+// expanded cell, which is what lets a repeated `clktune sweep` rerun zero
+// scenarios, and `clktune serve` never recomputes a document it has seen.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "scenario/scenario.h"
+#include "util/json.h"
+
+namespace clktune::cache {
+
+/// Counters of one cache's lifetime (process-local; disk entries written by
+/// other processes still count as disk hits here).
+struct CacheStats {
+  std::uint64_t hits = 0;         ///< memory_hits + disk_hits
+  std::uint64_t misses = 0;
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t evictions = 0;    ///< LRU entries dropped from memory
+  std::uint64_t puts = 0;
+
+  util::Json to_json() const;
+};
+
+/// Cache key of a resolved scenario: sha256(salt + canonical document).
+/// Stable across member-order permutations of the same document and across
+/// processes/hosts; changes whenever any field that affects the result does.
+std::string scenario_cache_key(const scenario::ScenarioSpec& spec);
+
+class ResultCache {
+ public:
+  /// `directory` empty = memory-only.  `memory_capacity` bounds the LRU
+  /// layer (0 disables it, leaving disk as the only layer).
+  explicit ResultCache(std::string directory = {},
+                       std::size_t memory_capacity = 256);
+
+  /// Looks a key up in memory, then on disk (promoting a disk hit into the
+  /// LRU).  Thread-safe.  A corrupt disk entry is treated as a miss.
+  std::optional<util::Json> get(const std::string& key);
+
+  /// Stores an artifact under `key` in both layers.  Thread-safe.
+  void put(const std::string& key, const util::Json& artifact);
+
+  CacheStats stats() const;
+  const std::string& directory() const { return directory_; }
+  std::size_t memory_size() const;
+
+ private:
+  std::string artifact_path(const std::string& key) const;
+  void insert_memory_locked(const std::string& key,
+                            const util::Json& artifact);
+
+  std::string directory_;
+  std::size_t memory_capacity_;
+
+  mutable std::mutex mutex_;
+  /// Most-recently-used first; maps hold iterators into this list.
+  std::list<std::pair<std::string, util::Json>> lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, util::Json>>::iterator>
+      index_;
+  CacheStats stats_;
+};
+
+}  // namespace clktune::cache

@@ -1,40 +1,65 @@
 // clktune — command-line driver for the scenario / campaign pipeline.
 //
-//   clktune run <scenario.json>    run one scenario, write a result artifact
-//   clktune sweep <campaign.json>  expand + run a parameter sweep
-//   clktune report <result.json>   render a saved artifact as a table
+//   clktune run <scenario.json>        run one scenario, write an artifact
+//   clktune sweep <campaign.json>      expand + run a parameter sweep
+//   clktune report <result.json>       render a saved artifact as a table
+//   clktune report --diff <a> <b>      compare two artifacts cell by cell
+//   clktune serve                      long-running scenario service (TCP)
+//   clktune submit <doc.json>          send a document to a running server
 //
 // Common options:
 //   -o, --output <path>   write the JSON artifact here (default: stdout)
 //   -t, --threads <n>     worker threads (default: hardware concurrency)
+//       --cache-dir <dir> content-addressed result cache (run/sweep/serve);
+//                         repeated invocations skip already-solved cells
+//       --shard <i/n>     sweep only expansion indices with idx % n == i
+//       --tolerance <y>   --diff: allowed tuned-yield drop (default 0.005)
+//       --host <h>        submit: server host (default 127.0.0.1)
+//   -p, --port <n>        serve/submit: TCP port (default 20160; serve: 0
+//                         picks an ephemeral port and prints it)
 //       --timings         include wall-clock fields (artifact is then no
 //                         longer bit-identical across runs)
 //       --compact         single-line JSON instead of pretty-printed
 //       --quiet           suppress progress lines on stderr
 //
-// Exit codes: 0 success, 1 usage error, 2 bad input file, 3 a scenario
-// missed its yield target.
+// Exit codes: 0 success, 1 usage error, 2 bad input file / structural diff
+// mismatch, 3 a scenario missed its yield target or a diff cell regressed.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "core/report.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
+#include "scenario/summary_diff.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "util/json.h"
 
 namespace {
 
 using clktune::util::Json;
 
+/// Default service port (after the paper's DATE 2016 venue).
+constexpr std::uint16_t kDefaultPort = 20160;
+
 struct Options {
   std::string command;
-  std::string input;
+  std::vector<std::string> inputs;  ///< positional arguments after command
   std::string output;
+  std::string cache_dir;
+  std::string host = "127.0.0.1";
+  int port = -1;  ///< -1 = command default
   int threads = 0;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  double tolerance = 0.005;
+  bool diff = false;
   bool timings = false;
   bool compact = false;
   bool quiet = false;
@@ -42,48 +67,99 @@ struct Options {
 
 void print_usage(std::FILE* to) {
   std::fputs(
-      "usage: clktune <command> <file> [options]\n"
+      "usage: clktune <command> [args] [options]\n"
       "\n"
       "commands:\n"
-      "  run <scenario.json>    execute one scenario\n"
-      "  sweep <campaign.json>  expand and execute a parameter sweep\n"
-      "  report <result.json>   print a saved result artifact as a table\n"
+      "  run <scenario.json>     execute one scenario\n"
+      "  sweep <campaign.json>   expand and execute a parameter sweep\n"
+      "  report <result.json>    print a saved result artifact as a table\n"
+      "  report --diff <a> <b>   compare two artifacts, flag regressions\n"
+      "  serve                   run the scenario service (TCP, NDJSON)\n"
+      "  submit <doc.json>       send a scenario/campaign to a server\n"
       "\n"
       "options:\n"
-      "  -o, --output <path>    write the JSON artifact to <path>\n"
-      "  -t, --threads <n>      worker threads (0 = hardware concurrency)\n"
-      "      --timings          include wall-clock fields in artifacts\n"
-      "      --compact          single-line JSON output\n"
-      "      --quiet            no progress lines on stderr\n",
+      "  -o, --output <path>     write the JSON artifact to <path>\n"
+      "  -t, --threads <n>       worker threads (0 = hardware concurrency)\n"
+      "      --cache-dir <dir>   enable the content-addressed result cache\n"
+      "      --shard <i/n>       run expansion indices idx %% n == i only\n"
+      "      --tolerance <y>     allowed tuned-yield drop for --diff\n"
+      "      --host <h>          server host for submit\n"
+      "  -p, --port <n>          server port (default 20160)\n"
+      "      --timings           include wall-clock fields in artifacts\n"
+      "      --compact           single-line JSON output\n"
+      "      --quiet             no progress lines on stderr\n",
       to);
 }
 
+bool parse_shard(const std::string& text, Options& opt) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size())
+    return false;
+  char* end = nullptr;
+  const unsigned long i = std::strtoul(text.c_str(), &end, 10);
+  if (end != text.c_str() + slash) return false;
+  const unsigned long n = std::strtoul(text.c_str() + slash + 1, &end, 10);
+  if (*end != '\0' || n == 0 || i >= n) return false;
+  opt.shard_index = i;
+  opt.shard_count = n;
+  return true;
+}
+
 int parse_options(int argc, char** argv, Options& opt) {
-  if (argc < 3) {
+  if (argc < 2) {
     print_usage(stderr);
     return 1;
   }
   opt.command = argv[1];
-  opt.input = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if ((arg == "-o" || arg == "--output") && i + 1 < argc) {
       opt.output = argv[++i];
     } else if ((arg == "-t" || arg == "--threads") && i + 1 < argc) {
       opt.threads = std::atoi(argv[++i]);
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      opt.cache_dir = argv[++i];
+    } else if (arg == "--shard" && i + 1 < argc) {
+      if (!parse_shard(argv[++i], opt)) {
+        std::fprintf(stderr, "clktune: --shard wants i/n with 0 <= i < n\n");
+        return 1;
+      }
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      opt.tolerance = std::atof(argv[++i]);
+    } else if (arg == "--host" && i + 1 < argc) {
+      opt.host = argv[++i];
+    } else if ((arg == "-p" || arg == "--port") && i + 1 < argc) {
+      opt.port = std::atoi(argv[++i]);
+      if (opt.port < 0 || opt.port > 65535) {
+        std::fprintf(stderr, "clktune: --port wants 0..65535\n");
+        return 1;
+      }
+    } else if (arg == "--diff") {
+      opt.diff = true;
     } else if (arg == "--timings") {
       opt.timings = true;
     } else if (arg == "--compact") {
       opt.compact = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
-    } else {
+    } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "clktune: unknown option '%s'\n", arg.c_str());
       print_usage(stderr);
       return 1;
+    } else {
+      opt.inputs.push_back(arg);
     }
   }
   return 0;
+}
+
+/// Enforces the command's positional-argument count.
+bool expect_inputs(const Options& opt, std::size_t count) {
+  if (opt.inputs.size() == count) return true;
+  std::fprintf(stderr, "clktune: %s expects %zu file argument%s\n",
+               opt.command.c_str(), count, count == 1 ? "" : "s");
+  print_usage(stderr);
+  return false;
 }
 
 void emit(const Options& opt, const Json& artifact) {
@@ -99,13 +175,34 @@ void emit(const Options& opt, const Json& artifact) {
   }
 }
 
+std::unique_ptr<clktune::cache::ResultCache> make_cache(const Options& opt) {
+  if (opt.cache_dir.empty()) return nullptr;
+  return std::make_unique<clktune::cache::ResultCache>(opt.cache_dir);
+}
+
 int cmd_run(const Options& opt) {
-  const Json doc = clktune::util::read_json_file(opt.input);
+  const Json doc = clktune::util::read_json_file(opt.inputs[0]);
   const auto spec = clktune::scenario::ScenarioSpec::from_json(doc);
+  const std::unique_ptr<clktune::cache::ResultCache> cache = make_cache(opt);
+  if (cache != nullptr) {
+    const std::string key = clktune::cache::scenario_cache_key(spec);
+    if (const auto artifact = cache->get(key)) {
+      if (!opt.quiet)
+        std::fprintf(stderr, "clktune: %s served from cache (%s)\n",
+                     spec.name.c_str(), key.substr(0, 12).c_str());
+      if (opt.timings && !opt.quiet)
+        std::fprintf(stderr,
+                     "clktune: cached artifacts carry no timing fields\n");
+      emit(opt, *artifact);
+      return artifact->at("met_target").as_bool() ? 0 : 3;
+    }
+  }
   if (!opt.quiet)
     std::fprintf(stderr, "clktune: running scenario %s\n", spec.name.c_str());
   const clktune::scenario::ScenarioResult result =
       clktune::scenario::run_scenario(spec, opt.threads);
+  if (cache != nullptr)
+    cache->put(clktune::cache::scenario_cache_key(spec), result.to_json());
   emit(opt, result.to_json(opt.timings));
   if (!opt.quiet)
     std::fprintf(stderr,
@@ -119,29 +216,47 @@ int cmd_run(const Options& opt) {
 }
 
 int cmd_sweep(const Options& opt) {
-  const Json doc = clktune::util::read_json_file(opt.input);
+  const Json doc = clktune::util::read_json_file(opt.inputs[0]);
   auto spec = clktune::scenario::CampaignSpec::from_json(doc);
   if (opt.threads > 0) spec.threads = opt.threads;
   const clktune::scenario::CampaignRunner runner(std::move(spec));
   const std::size_t total = runner.spec().expansion_size();
-  if (!opt.quiet)
-    std::fprintf(stderr, "clktune: campaign %s, %zu scenarios\n",
-                 runner.spec().name.c_str(), total);
+  const std::size_t mine =
+      total / opt.shard_count + (opt.shard_index < total % opt.shard_count);
+  if (!opt.quiet) {
+    if (opt.shard_count > 1)
+      std::fprintf(stderr,
+                   "clktune: campaign %s, shard %zu/%zu: %zu of %zu"
+                   " scenarios\n",
+                   runner.spec().name.c_str(), opt.shard_index,
+                   opt.shard_count, mine, total);
+    else
+      std::fprintf(stderr, "clktune: campaign %s, %zu scenarios\n",
+                   runner.spec().name.c_str(), total);
+  }
 
-  const clktune::scenario::CampaignSummary summary = runner.run(
-      [&](std::size_t index, const clktune::scenario::ScenarioResult& r) {
-        if (!opt.quiet)
-          std::fprintf(stderr,
-                       "clktune: [%zu/%zu] %s  yield %.2f%% -> %.2f%%\n",
-                       index + 1, total, r.name.c_str(),
-                       100.0 * r.yield.original.yield,
-                       100.0 * r.yield.tuned.yield);
-      });
+  const std::unique_ptr<clktune::cache::ResultCache> cache = make_cache(opt);
+  clktune::scenario::CampaignRunOptions run_options;
+  run_options.cache = cache.get();
+  run_options.shard_index = opt.shard_index;
+  run_options.shard_count = opt.shard_count;
+  run_options.on_done = [&](std::size_t index,
+                            const clktune::scenario::ScenarioResult& r,
+                            bool cached) {
+    if (!opt.quiet)
+      std::fprintf(stderr, "clktune: [%zu/%zu] %s  yield %.2f%% -> %.2f%%%s\n",
+                   index + 1, total, r.name.c_str(),
+                   100.0 * r.yield.original.yield,
+                   100.0 * r.yield.tuned.yield, cached ? "  (cached)" : "");
+  };
+  const clktune::scenario::CampaignSummary summary = runner.run(run_options);
   emit(opt, summary.to_json(opt.timings));
   if (!opt.quiet)
     std::fprintf(stderr,
-                 "clktune: %llu scenarios, %llu missed target  (%.1f s)\n",
+                 "clktune: %llu scenarios (%llu from cache), %llu missed"
+                 " target  (%.1f s)\n",
                  static_cast<unsigned long long>(summary.scenarios_run),
+                 static_cast<unsigned long long>(summary.scenarios_cached),
                  static_cast<unsigned long long>(summary.targets_missed),
                  summary.total_seconds);
   return summary.targets_missed == 0 ? 0 : 3;
@@ -167,8 +282,40 @@ clktune::core::TableRow row_from_json(const Json& r) {
   return row;
 }
 
+int cmd_report_diff(const Options& opt) {
+  const Json a = clktune::util::read_json_file(opt.inputs[0]);
+  const Json b = clktune::util::read_json_file(opt.inputs[1]);
+  const clktune::scenario::SummaryDiff diff =
+      clktune::scenario::diff_summaries(a, b, opt.tolerance);
+
+  std::printf("%-40s %10s %10s %9s\n", "cell", "yield_a", "yield_b", "delta");
+  for (const clktune::scenario::CellDiff& cell : diff.cells)
+    std::printf("%-40s %9.2f%% %9.2f%% %+8.2f%%%s\n", cell.name.c_str(),
+                100.0 * cell.yield_a, 100.0 * cell.yield_b,
+                100.0 * cell.delta(),
+                cell.regression ? "  REGRESSION" : "");
+  for (const std::string& name : diff.only_in_a)
+    std::printf("%-40s only in %s\n", name.c_str(), opt.inputs[0].c_str());
+  for (const std::string& name : diff.only_in_b)
+    std::printf("%-40s only in %s\n", name.c_str(), opt.inputs[1].c_str());
+  std::printf("%zu cells compared, %llu regression(s) beyond %.3f\n",
+              diff.cells.size(),
+              static_cast<unsigned long long>(diff.regressions),
+              opt.tolerance);
+  if (diff.structural_mismatch()) {
+    std::fprintf(stderr, "clktune: cell sets differ — not the same sweep\n");
+    return 2;
+  }
+  return diff.regressions == 0 ? 0 : 3;
+}
+
 int cmd_report(const Options& opt) {
-  const Json doc = clktune::util::read_json_file(opt.input);
+  if (opt.diff) {
+    if (!expect_inputs(opt, 2)) return 1;
+    return cmd_report_diff(opt);
+  }
+  if (!expect_inputs(opt, 1)) return 1;
+  const Json doc = clktune::util::read_json_file(opt.inputs[0]);
   std::vector<clktune::core::TableRow> rows;
   if (doc.contains("results")) {
     // Campaign summary.
@@ -189,6 +336,64 @@ int cmd_report(const Options& opt) {
   return 0;
 }
 
+int cmd_serve(const Options& opt) {
+  clktune::serve::ServeOptions serve_options;
+  serve_options.port =
+      opt.port < 0 ? kDefaultPort : static_cast<std::uint16_t>(opt.port);
+  serve_options.threads = opt.threads;
+  serve_options.cache_dir = opt.cache_dir;
+  serve_options.quiet = opt.quiet;
+  clktune::serve::ScenarioServer server(std::move(serve_options));
+  server.start();
+  // Machine-readable so scripts can scrape the (possibly ephemeral) port.
+  std::printf("clktune: serving on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+  server.serve_forever();
+  if (!opt.quiet) std::fprintf(stderr, "clktune: server stopped\n");
+  return 0;
+}
+
+int cmd_submit(const Options& opt) {
+  const Json doc = clktune::util::read_json_file(opt.inputs[0]);
+  const std::uint16_t port =
+      opt.port < 0 ? kDefaultPort : static_cast<std::uint16_t>(opt.port);
+  const clktune::serve::SubmitOutcome outcome =
+      clktune::serve::submit_document(
+          opt.host, port, doc, [&](const Json& event) {
+            if (opt.quiet) return;
+            if (event.at("event").as_string() != "result") return;
+            const Json& r = event.at("result");
+            std::fprintf(stderr, "clktune: [%llu] %s  yield %.2f%%%s\n",
+                         static_cast<unsigned long long>(
+                             event.at("index").as_uint()),
+                         r.at("name").as_string().c_str(),
+                         100.0 *
+                             r.at("yield").at("tuned").at("yield").as_double(),
+                         event.at("cached").as_bool() ? "  (cached)" : "");
+          });
+  if (!outcome.ok()) {
+    const Json* message = outcome.final_event.find("message");
+    std::fprintf(stderr, "clktune: submit failed: %s\n",
+                 message != nullptr ? message->as_string().c_str()
+                                    : "connection closed");
+    return 2;
+  }
+  // A scenario document prints exactly the artifact `clktune run` would; a
+  // campaign document prints the artifact array in expansion order (even
+  // when the sweep expands to a single cell).
+  if (doc.contains("base")) {
+    Json array = Json::array();
+    for (const Json& artifact : outcome.results) array.push_back(artifact);
+    emit(opt, array);
+  } else if (!outcome.results.empty()) {
+    emit(opt, outcome.results[0]);
+  } else {
+    std::fprintf(stderr, "clktune: server sent no result\n");
+    return 2;
+  }
+  return outcome.targets_missed() == 0 ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,9 +401,15 @@ int main(int argc, char** argv) {
   const int usage = parse_options(argc, argv, opt);
   if (usage != 0) return usage;
   try {
-    if (opt.command == "run") return cmd_run(opt);
-    if (opt.command == "sweep") return cmd_sweep(opt);
+    if (opt.command == "run")
+      return expect_inputs(opt, 1) ? cmd_run(opt) : 1;
+    if (opt.command == "sweep")
+      return expect_inputs(opt, 1) ? cmd_sweep(opt) : 1;
     if (opt.command == "report") return cmd_report(opt);
+    if (opt.command == "serve")
+      return expect_inputs(opt, 0) ? cmd_serve(opt) : 1;
+    if (opt.command == "submit")
+      return expect_inputs(opt, 1) ? cmd_submit(opt) : 1;
     std::fprintf(stderr, "clktune: unknown command '%s'\n",
                  opt.command.c_str());
     print_usage(stderr);

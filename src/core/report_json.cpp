@@ -118,6 +118,99 @@ Json table_row_json(const TableRow& row, bool include_timing) {
   return j;
 }
 
+BufferInfo buffer_info_from_json(const util::Json& j) {
+  BufferInfo info;
+  info.ff = static_cast<int>(j.at("ff").as_int());
+  const util::JsonArray& window = j.at("window").as_array();
+  const util::JsonArray& range = j.at("range").as_array();
+  if (window.size() != 2 || range.size() != 2)
+    throw util::JsonError("result: window / range must be [lo, hi]");
+  info.window_lo = static_cast<int>(window[0].as_int());
+  info.window_hi = static_cast<int>(window[1].as_int());
+  info.range_lo = static_cast<int>(range[0].as_int());
+  info.range_hi = static_cast<int>(range[1].as_int());
+  info.usage_step1 = j.at("usage_step1").as_uint();
+  info.usage_final = j.at("usage_final").as_uint();
+  info.avg_k = j.at("avg_k").as_double();
+  info.group = static_cast<int>(j.at("group").as_int());
+  return info;
+}
+
+PhaseDiagnostics phase_diagnostics_from_json(const util::Json& j) {
+  PhaseDiagnostics diag;
+  if (const util::Json* seconds = j.find("seconds"))
+    diag.seconds = seconds->as_double();
+  diag.samples_with_violations = j.at("samples_with_violations").as_uint();
+  diag.unfixable_samples = j.at("unfixable_samples").as_uint();
+  diag.milps_solved = j.at("milps_solved").as_uint();
+  diag.milp_nodes = j.at("milp_nodes").as_uint();
+  diag.truncated_milps = j.at("truncated_milps").as_uint();
+  diag.lazy_rounds = j.at("lazy_rounds").as_uint();
+  return diag;
+}
+
+namespace {
+
+std::vector<util::IntHistogram> histograms_from_summary_json(
+    const util::Json& j) {
+  // The artifact stores per-FF summaries only (total, support bounds); a
+  // minimal histogram with the same summary re-serialises identically.
+  std::vector<util::IntHistogram> hists;
+  for (const util::Json& s : j.as_array()) {
+    util::IntHistogram h;
+    const std::uint64_t total = s.at("total").as_uint();
+    const int min_key = static_cast<int>(s.at("min_key").as_int());
+    const int max_key = static_cast<int>(s.at("max_key").as_int());
+    if (total > 0) {
+      h.add(min_key, total);
+      if (max_key != min_key) h.add(max_key, 0);  // extend support only
+    }
+    hists.push_back(std::move(h));
+  }
+  return hists;
+}
+
+}  // namespace
+
+InsertionResult insertion_result_from_json(const util::Json& j) {
+  InsertionResult result;
+  result.step_ps = j.at("step_ps").as_double();
+  result.tau_ps = j.at("tau_ps").as_double();
+  result.clock_period_ps = j.at("clock_period_ps").as_double();
+  for (const util::Json& b : j.at("buffers").as_array())
+    result.buffers.push_back(buffer_info_from_json(b));
+  result.plan = tuning_plan_from_json(j);
+  result.step1 = phase_diagnostics_from_json(j.at("step1"));
+  result.step2a = phase_diagnostics_from_json(j.at("step2a"));
+  result.step2b = phase_diagnostics_from_json(j.at("step2b"));
+  result.step2a_skipped = j.at("step2a_skipped").as_bool();
+  result.out_of_window_fraction = j.at("out_of_window_fraction").as_double();
+  result.pruned_count = static_cast<int>(j.at("pruned_count").as_int());
+  result.hist_step1_min = histograms_from_summary_json(j.at("hist_step1_min"));
+  result.hist_step2 = histograms_from_summary_json(j.at("hist_step2"));
+  if (const util::Json* seconds = j.find("total_seconds"))
+    result.total_seconds = seconds->as_double();
+  return result;
+}
+
+feas::YieldResult yield_result_from_json(const util::Json& j) {
+  feas::YieldResult result;
+  result.yield = j.at("yield").as_double();
+  result.ci95 = j.at("ci95").as_double();
+  result.passing = j.at("passing").as_uint();
+  result.samples = j.at("samples").as_uint();
+  return result;
+}
+
+feas::YieldReport yield_report_from_json(const util::Json& j) {
+  feas::YieldReport report;
+  report.clock_period_ps = j.at("clock_period_ps").as_double();
+  report.eval_seed = j.at("eval_seed").as_uint();
+  report.original = yield_result_from_json(j.at("original"));
+  report.tuned = yield_result_from_json(j.at("tuned"));
+  return report;
+}
+
 feas::TuningPlan tuning_plan_from_json(const util::Json& result_json) {
   feas::TuningPlan plan;
   plan.step_ps = result_json.at("step_ps").as_double();

@@ -42,4 +42,17 @@ util::Json table_row_json(const TableRow& row, bool include_timing = false);
 /// errors.  This is what lets `clktune report` re-evaluate saved results.
 feas::TuningPlan tuning_plan_from_json(const util::Json& result_json);
 
+// Inverse readers for the result-cache round trip: a deterministic artifact
+// parsed back and re-serialised must reproduce the original bytes, so a
+// cache hit is indistinguishable from a recomputation.  Fields the artifact
+// does not carry (timing, full histograms, the correlation matrix) come
+// back empty; histogram summaries are reconstructed to re-emit the same
+// total / min_key / max_key triple.
+
+BufferInfo buffer_info_from_json(const util::Json& j);
+PhaseDiagnostics phase_diagnostics_from_json(const util::Json& j);
+InsertionResult insertion_result_from_json(const util::Json& j);
+feas::YieldResult yield_result_from_json(const util::Json& j);
+feas::YieldReport yield_report_from_json(const util::Json& j);
+
 }  // namespace clktune::core

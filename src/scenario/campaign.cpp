@@ -1,7 +1,9 @@
 #include "scenario/campaign.h"
 
+#include <optional>
 #include <utility>
 
+#include "cache/result_cache.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -176,6 +178,12 @@ std::vector<ScenarioSpec> CampaignSpec::expand() const {
 Json CampaignSummary::to_json(bool include_timing) const {
   Json j = Json::object();
   j.set("name", name);
+  if (shard_count > 1) {
+    Json shard = Json::object();
+    shard.set("index", static_cast<std::uint64_t>(shard_index));
+    shard.set("count", static_cast<std::uint64_t>(shard_count));
+    j.set("shard", std::move(shard));
+  }
   j.set("scenarios_run", scenarios_run);
   j.set("targets_missed", targets_missed);
 
@@ -200,32 +208,63 @@ Json CampaignSummary::to_json(bool include_timing) const {
   return j;
 }
 
-CampaignSummary CampaignRunner::run(const ScenarioCallback& on_done) const {
+CampaignSummary CampaignRunner::run(const CampaignRunOptions& options) const {
   const util::Stopwatch timer;
-  const std::vector<ScenarioSpec> scenarios = spec_.expand();
+  if (options.shard_count == 0 ||
+      options.shard_index >= options.shard_count)
+    throw JsonError("campaign: shard index must satisfy 0 <= i < n");
+  const std::vector<ScenarioSpec> all = spec_.expand();
+
+  // The expansion index is the unit of determinism, so a round-robin slice
+  // of it partitions a campaign across processes without coordination.
+  std::vector<std::size_t> selected;
+  selected.reserve(all.size() / options.shard_count + 1);
+  for (std::size_t i = options.shard_index; i < all.size();
+       i += options.shard_count)
+    selected.push_back(i);
 
   CampaignSummary summary;
   summary.name = spec_.name;
-  summary.results.resize(scenarios.size());
+  summary.shard_index = options.shard_index;
+  summary.shard_count = options.shard_count;
+  summary.results.resize(selected.size());
+  std::vector<char> cached(selected.size(), 0);
 
   // One worker thread per concurrent scenario; each scenario runs its inner
   // loops single-threaded so the batch scales with scenario count.  Every
   // worker writes only its own result slots, and slots are ordered by
-  // expansion index, so the summary is independent of scheduling.
+  // expansion index, so the summary is independent of scheduling.  Cache
+  // hits substitute a stored artifact for the computation — ScenarioResult
+  // JSON round trips are byte-exact, so the summary bytes cannot tell.
   const std::size_t workers = util::resolve_thread_count(
       spec_.threads <= 0 ? 0 : static_cast<std::size_t>(spec_.threads));
   util::parallel_chunks(
-      scenarios.size(), workers,
+      selected.size(), workers,
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          summary.results[i] = run_scenario(scenarios[i], /*threads=*/1);
-          if (on_done) on_done(i, summary.results[i]);
+          const ScenarioSpec& scenario = all[selected[i]];
+          if (options.cache != nullptr) {
+            const std::string key = cache::scenario_cache_key(scenario);
+            if (std::optional<Json> artifact = options.cache->get(key)) {
+              summary.results[i] = ScenarioResult::from_json(*artifact);
+              cached[i] = 1;
+            } else {
+              summary.results[i] = run_scenario(scenario, /*threads=*/1);
+              options.cache->put(key, summary.results[i].to_json());
+            }
+          } else {
+            summary.results[i] = run_scenario(scenario, /*threads=*/1);
+          }
+          if (options.on_done)
+            options.on_done(selected[i], summary.results[i], cached[i] != 0);
         }
       });
 
   summary.scenarios_run = summary.results.size();
-  for (const ScenarioResult& r : summary.results)
-    summary.targets_missed += r.met_target ? 0 : 1;
+  for (std::size_t i = 0; i < summary.results.size(); ++i) {
+    summary.targets_missed += summary.results[i].met_target ? 0 : 1;
+    summary.scenarios_cached += cached[i];
+  }
   summary.total_seconds = timer.seconds();
   return summary;
 }

@@ -31,6 +31,10 @@
 #include "scenario/scenario.h"
 #include "util/json.h"
 
+namespace clktune::cache {
+class ResultCache;
+}
+
 namespace clktune::scenario {
 
 /// One sweep axis: dotted scenario path + the values it takes.
@@ -65,29 +69,51 @@ struct CampaignSpec {
 
 struct CampaignSummary {
   std::string name;
-  std::vector<ScenarioResult> results;  ///< in expansion order
+  std::vector<ScenarioResult> results;  ///< shard cells, in expansion order
   std::uint64_t scenarios_run = 0;
   std::uint64_t targets_missed = 0;
+  /// Cells served from the result cache (subset of scenarios_run).  Not
+  /// serialised: a warm summary must stay byte-identical to a cold one.
+  std::uint64_t scenarios_cached = 0;
+  /// Which slice of the expansion this summary covers (i of n); recorded in
+  /// the JSON when sharded so partial summaries are self-describing.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
   double total_seconds = 0.0;  ///< wall clock of the whole batch
 
   /// Deterministic (timing-free) by default.
   util::Json to_json(bool include_timing = false) const;
 };
 
-/// Progress callback: (index into the expansion, result) — invoked from
-/// worker threads as scenarios finish; may be empty.
+/// Progress callback: (index into the expansion, result, served from
+/// cache) — invoked from worker threads as scenarios finish; may be empty.
 using ScenarioCallback =
-    std::function<void(std::size_t, const ScenarioResult&)>;
+    std::function<void(std::size_t, const ScenarioResult&, bool)>;
+
+/// Execution knobs orthogonal to the campaign document: none of these may
+/// change results, only where they come from (cache) or which slice of the
+/// expansion runs (shard).
+struct CampaignRunOptions {
+  ScenarioCallback on_done;
+  /// When set, each expanded cell is looked up by its content key first and
+  /// computed results are stored back — a repeated sweep reruns nothing.
+  cache::ResultCache* cache = nullptr;
+  /// Run only expansion indices with index % shard_count == shard_index
+  /// (CI fan-out across processes/hosts; shards partition the expansion).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+};
 
 class CampaignRunner {
  public:
   explicit CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {}
 
-  /// Expands the sweep and executes all scenarios.  Scenarios run
+  /// Expands the sweep and executes this shard's scenarios.  Scenarios run
   /// concurrently via util::parallel_chunks, one inner thread each, and the
   /// summary collects results in expansion order — the output is a pure
-  /// function of the campaign document.
-  CampaignSummary run(const ScenarioCallback& on_done = {}) const;
+  /// function of the campaign document (and the shard selection).  Throws
+  /// util::JsonError on an invalid shard specification.
+  CampaignSummary run(const CampaignRunOptions& options = {}) const;
 
   const CampaignSpec& spec() const { return spec_; }
 

@@ -439,6 +439,25 @@ Json ScenarioResult::to_json(bool include_timing) const {
   return j;
 }
 
+ScenarioResult ScenarioResult::from_json(const Json& j) {
+  ScenarioResult result;
+  result.name = j.at("name").as_string();
+  result.setting = j.at("setting").as_string();
+  result.clock_period_ps = j.at("clock_period_ps").as_double();
+  result.period_mu_ps = j.at("period_mu_ps").as_double();
+  result.period_sigma_ps = j.at("period_sigma_ps").as_double();
+  const Json& design = j.at("design");
+  result.num_flipflops = static_cast<int>(design.at("num_flipflops").as_int());
+  result.num_gates = static_cast<int>(design.at("num_gates").as_int());
+  result.num_arcs = static_cast<std::size_t>(design.at("num_arcs").as_uint());
+  result.insertion = core::insertion_result_from_json(j.at("insertion"));
+  result.yield = core::yield_report_from_json(j.at("yield"));
+  result.met_target = j.at("met_target").as_bool();
+  if (const Json* seconds = j.find("seconds"))
+    result.seconds = seconds->as_double();
+  return result;
+}
+
 ScenarioResult run_scenario(const ScenarioSpec& spec, int threads) {
   const util::Stopwatch timer;
   spec.validate();

@@ -130,6 +130,13 @@ struct ScenarioResult {
 
   /// Deterministic by default; timing fields only with `include_timing`.
   util::Json to_json(bool include_timing = false) const;
+
+  /// Rebuilds a result from a serialised artifact.  Round-trip safe for
+  /// deterministic artifacts: from_json(r.to_json()).to_json() reproduces
+  /// the original bytes, which is what lets the result cache substitute a
+  /// stored artifact for a recomputation.  Wall-clock fields come back 0
+  /// unless present.  Throws util::JsonError on shape errors.
+  static ScenarioResult from_json(const util::Json& j);
 };
 
 /// Executes one scenario start to finish.  `threads` caps worker threads

@@ -1,0 +1,73 @@
+#include "scenario/summary_diff.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace clktune::scenario {
+
+using util::Json;
+using util::JsonError;
+
+namespace {
+
+struct Cell {
+  std::string name;
+  double tuned_yield = 0.0;
+};
+
+/// Extracts (name, tuned yield) per cell from a campaign summary (its
+/// "results" array) or a bare scenario-result artifact.
+std::vector<Cell> extract_cells(const Json& artifact) {
+  std::vector<Cell> cells;
+  const auto read_one = [&](const Json& r) {
+    Cell cell;
+    cell.name = r.at("name").as_string();
+    cell.tuned_yield = r.at("yield").at("tuned").at("yield").as_double();
+    cells.push_back(std::move(cell));
+  };
+  if (const Json* results = artifact.find("results")) {
+    for (const Json& r : results->as_array()) read_one(r);
+  } else {
+    read_one(artifact);
+  }
+  return cells;
+}
+
+}  // namespace
+
+SummaryDiff diff_summaries(const Json& a, const Json& b, double tolerance) {
+  if (tolerance < 0.0)
+    throw JsonError("diff: tolerance must be >= 0");
+  const std::vector<Cell> cells_a = extract_cells(a);
+  const std::vector<Cell> cells_b = extract_cells(b);
+
+  std::unordered_map<std::string, double> by_name_b;
+  for (const Cell& cell : cells_b)
+    if (!by_name_b.emplace(cell.name, cell.tuned_yield).second)
+      throw JsonError("diff: duplicate cell \"" + cell.name + "\"");
+
+  SummaryDiff diff;
+  std::unordered_map<std::string, bool> seen_in_a;
+  for (const Cell& cell : cells_a) {
+    if (!seen_in_a.emplace(cell.name, true).second)
+      throw JsonError("diff: duplicate cell \"" + cell.name + "\"");
+    const auto match = by_name_b.find(cell.name);
+    if (match == by_name_b.end()) {
+      diff.only_in_a.push_back(cell.name);
+      continue;
+    }
+    CellDiff d;
+    d.name = cell.name;
+    d.yield_a = cell.tuned_yield;
+    d.yield_b = match->second;
+    d.regression = d.yield_b < d.yield_a - tolerance;
+    diff.regressions += d.regression ? 1 : 0;
+    diff.cells.push_back(std::move(d));
+  }
+  for (const Cell& cell : cells_b)
+    if (seen_in_a.find(cell.name) == seen_in_a.end())
+      diff.only_in_b.push_back(cell.name);
+  return diff;
+}
+
+}  // namespace clktune::scenario

@@ -1,0 +1,44 @@
+// Cell-by-cell comparison of two campaign summaries (or single-scenario
+// result artifacts): same sweep run against different code or config, did
+// any cell's tuned yield regress?  Backs `clktune report --diff`, whose
+// nonzero exit turns a yield regression into a CI failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace clktune::scenario {
+
+/// One cell present in both summaries, matched by scenario name.
+struct CellDiff {
+  std::string name;
+  double yield_a = 0.0;  ///< tuned yield in the baseline artifact
+  double yield_b = 0.0;  ///< tuned yield in the candidate artifact
+  bool regression = false;  ///< yield_b < yield_a - tolerance
+
+  double delta() const { return yield_b - yield_a; }
+};
+
+struct SummaryDiff {
+  std::vector<CellDiff> cells;            ///< in baseline order
+  std::vector<std::string> only_in_a;     ///< cells the candidate lost
+  std::vector<std::string> only_in_b;     ///< cells the candidate grew
+  std::uint64_t regressions = 0;
+
+  /// Cell sets differ — the two artifacts are not the same sweep.
+  bool structural_mismatch() const {
+    return !only_in_a.empty() || !only_in_b.empty();
+  }
+};
+
+/// Diffs two artifacts parsed from `clktune run` / `clktune sweep` output.
+/// A cell regresses when its tuned yield drops by more than `tolerance`
+/// (probability, not percent).  Throws util::JsonError on malformed input
+/// or duplicate cell names.
+SummaryDiff diff_summaries(const util::Json& a, const util::Json& b,
+                           double tolerance);
+
+}  // namespace clktune::scenario

@@ -1,0 +1,61 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "util/socket.h"
+
+namespace clktune::serve {
+
+using util::Json;
+
+bool SubmitOutcome::ok() const {
+  const Json* event = final_event.find("event");
+  if (event == nullptr || event->as_string() != "done") return false;
+  const Json* ok_flag = final_event.find("ok");
+  return ok_flag != nullptr && ok_flag->as_bool();
+}
+
+std::uint64_t SubmitOutcome::targets_missed() const {
+  const Json* missed = final_event.find("targets_missed");
+  return missed == nullptr ? 0 : missed->as_uint();
+}
+
+SubmitOutcome submit_request(const std::string& host, std::uint16_t port,
+                             const std::string& cmd, const Json& doc,
+                             const EventCallback& on_event) {
+  Json request = Json::object();
+  request.set("cmd", cmd);
+  if (!doc.is_null()) request.set("doc", doc);
+
+  const util::TcpSocket connection = util::tcp_connect(host, port);
+  util::tcp_write_all(connection, request.dump(-1) + "\n");
+
+  SubmitOutcome outcome;
+  util::LineReader reader(connection);
+  std::string line;
+  while (reader.read_line(line)) {
+    if (line.empty()) continue;
+    Json event = Json::parse(line);
+    if (on_event) on_event(event);
+    const std::string kind = event.at("event").as_string();
+    if (kind == "result") {
+      const std::size_t index = event.at("index").as_uint();
+      if (outcome.results.size() <= index) outcome.results.resize(index + 1);
+      outcome.cached += event.at("cached").as_bool() ? 1 : 0;
+      outcome.results[index] = event.at("result");
+      continue;
+    }
+    outcome.final_event = std::move(event);
+    break;  // done / status / error terminates the exchange
+  }
+  return outcome;
+}
+
+SubmitOutcome submit_document(const std::string& host, std::uint16_t port,
+                              const Json& doc,
+                              const EventCallback& on_event) {
+  const std::string cmd = doc.contains("base") ? "sweep" : "run";
+  return submit_request(host, port, cmd, doc, on_event);
+}
+
+}  // namespace clktune::serve

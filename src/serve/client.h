@@ -1,0 +1,44 @@
+// Client side of the serve protocol: connect, send one request line, stream
+// response events until "done" / "status" / "error" (or EOF).  Used by
+// `clktune submit`, the end-to-end tests and the serve_roundtrip example.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace clktune::serve {
+
+struct SubmitOutcome {
+  /// "result" events' artifacts, reordered by expansion index (so a sweep
+  /// submission yields the same ordering as the local summary).
+  std::vector<util::Json> results;
+  /// How many of the results were served from the daemon's cache.
+  std::uint64_t cached = 0;
+  /// The terminal event ("done" / "status" / "error"); object() on EOF.
+  util::Json final_event = util::Json::object();
+
+  bool ok() const;             ///< terminal event is a successful "done"
+  std::uint64_t targets_missed() const;
+};
+
+/// Progress observer: every response event, in arrival order; may be empty.
+using EventCallback = std::function<void(const util::Json&)>;
+
+/// Sends `{"cmd":cmd,"doc":doc}` (doc omitted when null) and collects the
+/// response stream.  Throws std::runtime_error on connection failure and
+/// util::JsonError on a malformed response line.
+SubmitOutcome submit_request(const std::string& host, std::uint16_t port,
+                             const std::string& cmd, const util::Json& doc,
+                             const EventCallback& on_event = {});
+
+/// Convenience: submit a scenario or campaign document, auto-detected by
+/// its shape (a campaign has a "base" member).
+SubmitOutcome submit_document(const std::string& host, std::uint16_t port,
+                              const util::Json& doc,
+                              const EventCallback& on_event = {});
+
+}  // namespace clktune::serve

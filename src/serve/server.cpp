@@ -1,0 +1,170 @@
+#include "serve/server.h"
+
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <optional>
+
+#include "scenario/campaign.h"
+#include "scenario/scenario.h"
+#include "util/json.h"
+
+namespace clktune::serve {
+
+using util::Json;
+
+namespace {
+
+void send_event(const util::TcpSocket& connection, const Json& event) {
+  util::tcp_write_all(connection, event.dump(-1) + "\n");
+}
+
+void send_error(const util::TcpSocket& connection, const std::string& what) {
+  Json event = Json::object();
+  event.set("event", "error");
+  event.set("message", what);
+  send_event(connection, event);
+}
+
+Json result_event(std::size_t index, bool cached, const Json& artifact) {
+  Json event = Json::object();
+  event.set("event", "result");
+  event.set("index", static_cast<std::uint64_t>(index));
+  event.set("cached", cached);
+  event.set("result", artifact);
+  return event;
+}
+
+Json done_event(std::uint64_t scenarios_run, std::uint64_t targets_missed,
+                std::uint64_t cached) {
+  Json event = Json::object();
+  event.set("event", "done");
+  event.set("ok", true);
+  event.set("scenarios_run", scenarios_run);
+  event.set("targets_missed", targets_missed);
+  event.set("cached", cached);
+  return event;
+}
+
+}  // namespace
+
+ScenarioServer::ScenarioServer(ServeOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_dir, options_.cache_capacity) {}
+
+void ScenarioServer::start() {
+  listener_ = util::tcp_listen(options_.port);
+  port_ = util::tcp_local_port(listener_);
+}
+
+void ScenarioServer::serve_forever() {
+  while (!stop_.load()) {
+    util::TcpSocket connection = util::tcp_accept(listener_);
+    if (!connection.valid()) break;  // listener closed by stop()
+    ++connections_;
+    handle_connection(std::move(connection));
+  }
+}
+
+void ScenarioServer::stop() {
+  stop_.store(true);
+  listener_.close();
+}
+
+void ScenarioServer::handle_connection(util::TcpSocket connection) {
+  util::LineReader reader(connection);
+  std::string line;
+  while (!stop_.load() && reader.read_line(line)) {
+    if (line.empty()) continue;
+    try {
+      handle_request(connection, line);
+    } catch (const std::exception& e) {
+      // Parse/validation/runtime failure of one request; the connection
+      // stays usable because requests are line-framed.
+      try {
+        send_error(connection, e.what());
+      } catch (const std::exception&) {
+        return;  // peer gone mid-error: drop the connection
+      }
+    }
+  }
+}
+
+void ScenarioServer::handle_request(const util::TcpSocket& connection,
+                                    const std::string& line) {
+  const Json request = Json::parse(line);
+  const std::string cmd = request.at("cmd").as_string();
+  ++requests_;
+  if (!options_.quiet)
+    std::fprintf(stderr, "clktune-serve: %s\n", cmd.c_str());
+
+  if (cmd == "status") {
+    Json event = Json::object();
+    event.set("event", "status");
+    event.set("requests", requests_);
+    event.set("connections", connections_);
+    event.set("scenarios_run", scenarios_run_);
+    event.set("cache", cache_.stats().to_json());
+    send_event(connection, event);
+    return;
+  }
+
+  if (cmd == "shutdown") {
+    stop_.store(true);
+    listener_.close();
+    send_event(connection, done_event(0, 0, 0));
+    return;
+  }
+
+  if (cmd == "run") {
+    const auto spec = scenario::ScenarioSpec::from_json(request.at("doc"));
+    const std::string key = cache::scenario_cache_key(spec);
+    bool cached = true;
+    std::optional<Json> artifact = cache_.get(key);
+    if (!artifact) {
+      cached = false;
+      const scenario::ScenarioResult result =
+          scenario::run_scenario(spec, options_.threads);
+      artifact = result.to_json();
+      cache_.put(key, *artifact);
+    }
+    ++scenarios_run_;
+    send_event(connection, result_event(0, cached, *artifact));
+    const bool met_target =
+        artifact->at("met_target").as_bool();
+    send_event(connection, done_event(1, met_target ? 0 : 1, cached ? 1 : 0));
+    return;
+  }
+
+  if (cmd == "sweep") {
+    auto spec = scenario::CampaignSpec::from_json(request.at("doc"));
+    if (options_.threads > 0) spec.threads = options_.threads;
+    const scenario::CampaignRunner runner(std::move(spec));
+    scenario::CampaignRunOptions run_options;
+    run_options.cache = &cache_;
+    std::mutex write_mutex;  // result callbacks fire from worker threads
+    bool peer_gone = false;  // a throwing callback would kill the worker
+    run_options.on_done = [&](std::size_t index,
+                              const scenario::ScenarioResult& result,
+                              bool cached) {
+      const std::lock_guard<std::mutex> lock(write_mutex);
+      if (peer_gone) return;
+      try {
+        send_event(connection, result_event(index, cached, result.to_json()));
+      } catch (const std::exception&) {
+        peer_gone = true;  // keep computing: results still land in the cache
+      }
+    };
+    const scenario::CampaignSummary summary = runner.run(run_options);
+    scenarios_run_ += summary.scenarios_run;
+    if (!peer_gone)
+      send_event(connection,
+                 done_event(summary.scenarios_run, summary.targets_missed,
+                            summary.scenarios_cached));
+    return;
+  }
+
+  send_error(connection, "unknown cmd \"" + cmd + "\"");
+}
+
+}  // namespace clktune::serve

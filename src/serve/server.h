@@ -1,0 +1,79 @@
+// `clktune serve` — a long-running scenario service.
+//
+// The daemon listens on a loopback TCP port and speaks newline-delimited
+// JSON: each request line is an object with a "cmd" member, each response
+// line an object with an "event" member.  The PR-1 artifact layer is the
+// wire format — a streamed "result" event carries exactly the JSON that
+// `clktune run` would have written for the same document.
+//
+//   request                                  response lines
+//   {"cmd":"run","doc":{scenario}}       -> result, done
+//   {"cmd":"sweep","doc":{campaign}}     -> result per finished cell, done
+//   {"cmd":"status"}                     -> status
+//   {"cmd":"shutdown"}                   -> done (then the server exits)
+//
+//   result: {"event":"result","index":i,"cached":bool,"result":{artifact}}
+//   done:   {"event":"done","ok":true,"scenarios_run":n,
+//            "targets_missed":m,"cached":c}
+//   status: {"event":"status","requests":r,"connections":k,
+//            "scenarios_run":n,"cache":{hits,misses,...}}
+//   error:  {"event":"error","message":"..."}
+//
+// Sweep results stream in completion order, tagged with their expansion
+// index; scenario execution fans out over the campaign thread pool, so one
+// request at a time is admitted (compute is parallel, admission is serial).
+// Every result — run or sweep — goes through the content-addressed
+// ResultCache, so the daemon never recomputes a document it has already
+// solved, across requests and across clients.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "cache/result_cache.h"
+#include "util/socket.h"
+
+namespace clktune::serve {
+
+struct ServeOptions {
+  std::uint16_t port = 0;   ///< 0 = ephemeral (query via ScenarioServer::port)
+  int threads = 0;          ///< campaign workers; 0 = hardware concurrency
+  std::string cache_dir;    ///< empty = in-memory cache only
+  std::size_t cache_capacity = 256;  ///< LRU entries held in memory
+  bool quiet = true;        ///< suppress per-request stderr lines
+};
+
+class ScenarioServer {
+ public:
+  explicit ScenarioServer(ServeOptions options);
+
+  /// Binds and listens; after this, port() is the actual port.
+  void start();
+  std::uint16_t port() const { return port_; }
+
+  /// Accept loop; returns after a shutdown request or stop().  Connections
+  /// are handled one at a time; each may carry any number of request lines.
+  void serve_forever();
+
+  /// Thread-safe: asks the accept loop to exit and unblocks it.
+  void stop();
+
+  cache::ResultCache& cache() { return cache_; }
+
+ private:
+  void handle_connection(util::TcpSocket connection);
+  void handle_request(const util::TcpSocket& connection,
+                      const std::string& line);
+
+  ServeOptions options_;
+  cache::ResultCache cache_;
+  util::TcpSocket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::uint64_t requests_ = 0;
+  std::uint64_t connections_ = 0;
+  std::uint64_t scenarios_run_ = 0;  ///< computed + cache-served
+};
+
+}  // namespace clktune::serve

@@ -1,5 +1,6 @@
 #include "util/json.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -411,6 +412,34 @@ class Parser {
 
 Json Json::parse(const std::string& text) {
   return Parser(text).parse_document();
+}
+
+namespace {
+
+Json canonicalized(const Json& j) {
+  switch (j.type()) {
+    case Json::Type::array: {
+      Json out = Json::array();
+      for (const Json& v : j.as_array()) out.push_back(canonicalized(v));
+      return out;
+    }
+    case Json::Type::object: {
+      JsonObject members;
+      for (const auto& [k, v] : j.as_object())
+        members.emplace_back(k, canonicalized(v));
+      std::sort(members.begin(), members.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      return Json(std::move(members));
+    }
+    default:
+      return j;
+  }
+}
+
+}  // namespace
+
+std::string canonical_dump(const Json& value) {
+  return canonicalized(value).dump(-1);
 }
 
 Json read_json_file(const std::string& path) {

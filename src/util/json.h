@@ -125,6 +125,12 @@ class Json {
   JsonObject obj_;
 };
 
+/// Canonical serialisation for content addressing: compact (indent -1)
+/// with object members recursively sorted by key bytes, so two documents
+/// that differ only in member order hash identically.  dump() itself stays
+/// order-preserving — artifacts keep their authored layout.
+std::string canonical_dump(const Json& value);
+
 /// Reads a whole file and parses it; throws JsonError (parse) or
 /// std::runtime_error (I/O).
 Json read_json_file(const std::string& path);

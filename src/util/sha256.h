@@ -1,0 +1,44 @@
+// Self-contained SHA-256 (FIPS 180-4), no external dependencies.
+//
+// The cache subsystem keys result artifacts by the digest of a canonical
+// scenario document, so the hash must be stable across platforms and
+// library versions — hence a local implementation instead of linking
+// OpenSSL.  Throughput is irrelevant here: inputs are kilobyte-sized JSON
+// documents hashed once per scenario.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace clktune::util {
+
+/// Incremental SHA-256 hasher.  update() any number of times, then
+/// digest()/hex_digest() exactly once.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalises and returns the 32-byte digest.
+  std::array<std::uint8_t, 32> digest();
+  /// Finalises and returns the digest as 64 lowercase hex characters.
+  std::string hex_digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot convenience: hex SHA-256 of a byte string.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace clktune::util

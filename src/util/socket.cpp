@@ -1,0 +1,149 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace clktune::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("socket: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpSocket::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);  // unblocks accept()/recv() in other threads
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpSocket tcp_listen(std::uint16_t port, int backlog) {
+  TcpSocket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) fail("socket()");
+  const int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    fail("bind(127.0.0.1:" + std::to_string(port) + ")");
+  if (::listen(socket.fd(), backlog) != 0) fail("listen()");
+  return socket;
+}
+
+std::uint16_t tcp_local_port(const TcpSocket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0)
+    fail("getsockname()");
+  return ntohs(addr.sin_port);
+}
+
+TcpSocket tcp_accept(const TcpSocket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return TcpSocket(fd);
+    if (errno == EINTR) continue;
+    return TcpSocket();  // listener closed (EBADF/EINVAL) or fatal
+  }
+}
+
+TcpSocket tcp_connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &results);
+  if (rc != 0)
+    throw std::runtime_error("socket: cannot resolve " + host + ": " +
+                             gai_strerror(rc));
+
+  TcpSocket socket;
+  int last_errno = ECONNREFUSED;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    TcpSocket candidate(
+        ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) continue;
+    if (::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      socket = std::move(candidate);
+      break;
+    }
+    last_errno = errno;  // before the candidate's close() clobbers it
+  }
+  ::freeaddrinfo(results);
+  if (!socket.valid()) {
+    errno = last_errno;
+    fail("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return socket;
+}
+
+void tcp_write_all(const TcpSocket& socket, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send()");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool LineReader::read_line(std::string& line) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      line = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true;  // treat a reset peer as end of stream
+    } else if (n == 0) {
+      eof_ = true;
+    } else {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+}
+
+}  // namespace clktune::util

@@ -1,0 +1,67 @@
+// Thin RAII wrappers over POSIX TCP sockets, just enough for the
+// newline-delimited-JSON service protocol: a loopback listener, blocking
+// accept/connect, full-buffer writes and a buffered line reader.  All
+// failures surface as std::runtime_error with errno text; no global state,
+// no third-party dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace clktune::util {
+
+/// Move-only owner of a socket file descriptor.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Idempotent; also safe to call from another thread to unblock a
+  /// blocking accept()/read() on this socket.
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listens on 127.0.0.1:`port` (0 = ephemeral, query via tcp_local_port).
+TcpSocket tcp_listen(std::uint16_t port, int backlog = 16);
+
+/// Port a bound socket actually listens on.
+std::uint16_t tcp_local_port(const TcpSocket& socket);
+
+/// Blocks for the next connection; returns an invalid socket when the
+/// listener has been closed (the orderly-shutdown path).
+TcpSocket tcp_accept(const TcpSocket& listener);
+
+/// Connects to `host`:`port` (name resolution included).
+TcpSocket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Writes all of `data`, looping over partial sends.
+void tcp_write_all(const TcpSocket& socket, std::string_view data);
+
+/// Buffered reader of '\n'-terminated lines from one socket.
+class LineReader {
+ public:
+  explicit LineReader(const TcpSocket& socket) : socket_(&socket) {}
+
+  /// Next line without the terminator; false on clean EOF (a trailing
+  /// unterminated fragment is returned as a final line first).
+  bool read_line(std::string& line);
+
+ private:
+  const TcpSocket* socket_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace clktune::util

@@ -1,0 +1,321 @@
+// Result-cache subsystem tests: SHA-256 known answers, canonical JSON,
+// content-key stability across member-order permutations, LRU hit / miss /
+// eviction behaviour, disk persistence across cache instances, the
+// byte-exact ScenarioResult JSON round trip the cache depends on, and a
+// warm CampaignRunner rerun that computes nothing yet reproduces the cold
+// summary bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "cache/result_cache.h"
+#include "scenario/campaign.h"
+#include "scenario/scenario.h"
+#include "scenario/summary_diff.h"
+#include "util/json.h"
+#include "util/sha256.h"
+
+namespace clktune {
+namespace {
+
+using util::Json;
+
+// ------------------------------------------------------------------ sha256
+
+TEST(Sha256Test, MatchesKnownVectors) {
+  EXPECT_EQ(
+      util::sha256_hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      util::sha256_hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      util::sha256_hex(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalUpdatesMatchOneShot) {
+  // A message spanning multiple 64-byte blocks, fed in awkward pieces.
+  const std::string message(150, 'x');
+  util::Sha256 hasher;
+  hasher.update(message.substr(0, 1));
+  hasher.update(message.substr(1, 63));
+  hasher.update(message.substr(64, 64));
+  hasher.update(message.substr(128));
+  EXPECT_EQ(hasher.hex_digest(), util::sha256_hex(message));
+}
+
+// -------------------------------------------------------- canonical JSON
+
+TEST(CanonicalJsonTest, SortsMembersRecursivelyAndCompactly) {
+  const Json j = Json::parse(R"({"b": {"y": 1, "x": [2, {"q": 3, "p": 4}]},
+                                 "a": true})");
+  EXPECT_EQ(util::canonical_dump(j),
+            R"({"a":true,"b":{"x":[2,{"p":4,"q":3}],"y":1}})");
+  // Arrays keep their order; only object members sort.
+  EXPECT_EQ(util::canonical_dump(Json::parse("[3,1,2]")), "[3,1,2]");
+}
+
+// ------------------------------------------------------------- cache keys
+
+Json tiny_scenario_doc() {
+  return Json::parse(R"({
+    "name": "tiny",
+    "design": {"synthetic": {"name": "tiny", "num_flipflops": 30,
+                             "num_gates": 220, "seed": 5}},
+    "clock": {"sigma_offset": 0.0, "period_samples": 400},
+    "insertion": {"num_samples": 200, "steps": 8},
+    "evaluation": {"samples": 400, "seed": 99}
+  })");
+}
+
+TEST(CacheKeyTest, StableAcrossMemberOrderPermutations) {
+  // The same document with every object's members permuted.
+  const Json permuted = Json::parse(R"({
+    "evaluation": {"seed": 99, "samples": 400},
+    "insertion": {"steps": 8, "num_samples": 200},
+    "clock": {"period_samples": 400, "sigma_offset": 0.0},
+    "design": {"synthetic": {"seed": 5, "num_gates": 220,
+                             "num_flipflops": 30, "name": "tiny"}},
+    "name": "tiny"
+  })");
+  const auto spec_a = scenario::ScenarioSpec::from_json(tiny_scenario_doc());
+  const auto spec_b = scenario::ScenarioSpec::from_json(permuted);
+  EXPECT_EQ(cache::scenario_cache_key(spec_a),
+            cache::scenario_cache_key(spec_b));
+  EXPECT_EQ(cache::scenario_cache_key(spec_a).size(), 64u);
+}
+
+TEST(CacheKeyTest, ChangesWithAnyResultAffectingField) {
+  const auto base = scenario::ScenarioSpec::from_json(tiny_scenario_doc());
+
+  Json changed_seed = tiny_scenario_doc();
+  changed_seed.find("design")->find("synthetic")->set("seed", 6);
+  Json changed_eval = tiny_scenario_doc();
+  changed_eval.find("evaluation")->set("samples", 500);
+
+  EXPECT_NE(cache::scenario_cache_key(base),
+            cache::scenario_cache_key(
+                scenario::ScenarioSpec::from_json(changed_seed)));
+  EXPECT_NE(cache::scenario_cache_key(base),
+            cache::scenario_cache_key(
+                scenario::ScenarioSpec::from_json(changed_eval)));
+}
+
+TEST(CacheKeyTest, BenchFileKeyTracksFileContents) {
+  // The document only names the file; the key must change when its bytes
+  // do, or an edited netlist would be served stale results.
+  const std::string path = testing::TempDir() + "clktune_key_test.bench";
+  const auto write_file = [&](const char* text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(text, f);
+    std::fclose(f);
+  };
+  Json doc = Json::object();
+  doc.set("name", "bench");
+  Json design = Json::object();
+  design.set("bench_file", path);
+  doc.set("design", std::move(design));
+  const auto spec = scenario::ScenarioSpec::from_json(doc);
+
+  write_file("INPUT(a)\n");
+  const std::string key_a = cache::scenario_cache_key(spec);
+  EXPECT_EQ(key_a, cache::scenario_cache_key(spec));  // content-stable
+  write_file("INPUT(b)\n");
+  EXPECT_NE(cache::scenario_cache_key(spec), key_a);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------ cache store
+
+Json fake_artifact(int value) {
+  Json j = Json::object();
+  j.set("value", value);
+  return j;
+}
+
+TEST(ResultCacheTest, MemoryHitMissAndStats) {
+  cache::ResultCache cache_store;  // memory-only
+  EXPECT_FALSE(cache_store.get("k1").has_value());
+  cache_store.put("k1", fake_artifact(1));
+  const auto hit = cache_store.get("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->at("value").as_int(), 1);
+
+  const cache::CacheStats stats = cache_store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.memory_hits, 1u);
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_EQ(stats.puts, 1u);
+}
+
+TEST(ResultCacheTest, LruEvictsLeastRecentlyUsed) {
+  cache::ResultCache cache_store(/*directory=*/"", /*memory_capacity=*/2);
+  cache_store.put("k1", fake_artifact(1));
+  cache_store.put("k2", fake_artifact(2));
+  ASSERT_TRUE(cache_store.get("k1").has_value());  // k2 is now the LRU
+  cache_store.put("k3", fake_artifact(3));         // evicts k2
+  EXPECT_EQ(cache_store.memory_size(), 2u);
+  EXPECT_EQ(cache_store.stats().evictions, 1u);
+  EXPECT_FALSE(cache_store.get("k2").has_value());
+  EXPECT_TRUE(cache_store.get("k1").has_value());
+  EXPECT_TRUE(cache_store.get("k3").has_value());
+}
+
+TEST(ResultCacheTest, DiskLayerPersistsAcrossInstancesAndEvictions) {
+  const std::string dir = testing::TempDir() + "clktune_cache_test";
+  std::filesystem::remove_all(dir);
+  {
+    cache::ResultCache writer(dir, /*memory_capacity=*/1);
+    writer.put("k1", fake_artifact(1));
+    writer.put("k2", fake_artifact(2));  // k1 evicted from memory, on disk
+    const auto hit = writer.get("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->at("value").as_int(), 1);
+    EXPECT_EQ(writer.stats().disk_hits, 1u);
+  }
+  cache::ResultCache reader(dir);
+  const auto hit = reader.get("k2");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->at("value").as_int(), 2);
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  EXPECT_FALSE(reader.get("missing").has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, CorruptDiskEntryReadsAsMiss) {
+  const std::string dir = testing::TempDir() + "clktune_cache_corrupt";
+  std::filesystem::remove_all(dir);
+  cache::ResultCache cache_store(dir);
+  {
+    std::FILE* f = std::fopen((dir + "/deadbeef.json").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{not json", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(cache_store.get("deadbeef").has_value());
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------- result round trip
+
+TEST(ResultRoundTripTest, ScenarioResultJsonIsByteExact) {
+  const auto spec = scenario::ScenarioSpec::from_json(tiny_scenario_doc());
+  const scenario::ScenarioResult result = scenario::run_scenario(spec, 1);
+  const std::string original = result.to_json().dump();
+  const scenario::ScenarioResult rebuilt =
+      scenario::ScenarioResult::from_json(Json::parse(original));
+  EXPECT_EQ(rebuilt.to_json().dump(), original);
+  EXPECT_EQ(rebuilt.seconds, 0.0);  // timing is not part of the artifact
+}
+
+// ------------------------------------------------- campaign cache + shard
+
+Json tiny_campaign_doc() {
+  Json doc = Json::object();
+  doc.set("name", "tiny_campaign");
+  doc.set("base", tiny_scenario_doc());
+  Json sweep = Json::object();
+  sweep.set("clock.sigma_offset",
+            Json(util::JsonArray{Json(0.0), Json(1.0)}));
+  doc.set("sweep", std::move(sweep));
+  return doc;
+}
+
+TEST(CampaignCacheTest, WarmRerunComputesNothingAndMatchesColdBytes) {
+  const auto spec = scenario::CampaignSpec::from_json(tiny_campaign_doc());
+  const scenario::CampaignRunner runner(spec);
+  cache::ResultCache cache_store;
+
+  scenario::CampaignRunOptions options;
+  options.cache = &cache_store;
+  const scenario::CampaignSummary cold = runner.run(options);
+  EXPECT_EQ(cold.scenarios_cached, 0u);
+  EXPECT_EQ(cache_store.stats().misses, 2u);
+
+  const scenario::CampaignSummary warm = runner.run(options);
+  EXPECT_EQ(warm.scenarios_cached, warm.scenarios_run);
+  EXPECT_EQ(cache_store.stats().hits, 2u);
+  EXPECT_EQ(warm.to_json().dump(), cold.to_json().dump());
+}
+
+TEST(CampaignShardTest, ShardsPartitionTheExpansion) {
+  const auto spec = scenario::CampaignSpec::from_json(tiny_campaign_doc());
+  const scenario::CampaignRunner runner(spec);
+  const scenario::CampaignSummary full = runner.run();
+
+  scenario::CampaignRunOptions shard0, shard1;
+  shard0.shard_index = 0;
+  shard0.shard_count = 2;
+  shard1.shard_index = 1;
+  shard1.shard_count = 2;
+  const scenario::CampaignSummary a = runner.run(shard0);
+  const scenario::CampaignSummary b = runner.run(shard1);
+
+  ASSERT_EQ(full.results.size(), 2u);
+  ASSERT_EQ(a.results.size(), 1u);
+  ASSERT_EQ(b.results.size(), 1u);
+  EXPECT_EQ(a.results[0].to_json().dump(), full.results[0].to_json().dump());
+  EXPECT_EQ(b.results[0].to_json().dump(), full.results[1].to_json().dump());
+
+  // Sharded summaries are self-describing; the full one stays unchanged.
+  EXPECT_NE(a.to_json().dump().find("\"shard\""), std::string::npos);
+  EXPECT_EQ(full.to_json().dump().find("\"shard\""), std::string::npos);
+
+  scenario::CampaignRunOptions bad;
+  bad.shard_index = 2;
+  bad.shard_count = 2;
+  EXPECT_THROW(runner.run(bad), util::JsonError);
+}
+
+// ---------------------------------------------------------- summary diff
+
+Json fake_summary(const char* name, double yield_a, double yield_b) {
+  Json make = Json::parse(R"({"name": "s", "results": []})");
+  make.set("name", name);
+  const auto cell = [](const char* cell_name, double tuned) {
+    Json yield = Json::parse(R"({"tuned": {"yield": 0}})");
+    yield.find("tuned")->set("yield", tuned);
+    Json r = Json::object();
+    r.set("name", cell_name);
+    r.set("yield", std::move(yield));
+    return r;
+  };
+  make.find("results")->push_back(cell("c0", yield_a));
+  make.find("results")->push_back(cell("c1", yield_b));
+  return make;
+}
+
+TEST(SummaryDiffTest, FlagsRegressionsBeyondTolerance) {
+  const Json a = fake_summary("base", 0.90, 0.80);
+  const Json b = fake_summary("cand", 0.896, 0.70);
+  const scenario::SummaryDiff diff = scenario::diff_summaries(a, b, 0.005);
+  ASSERT_EQ(diff.cells.size(), 2u);
+  EXPECT_FALSE(diff.cells[0].regression);  // -0.004 within tolerance
+  EXPECT_TRUE(diff.cells[1].regression);   // -0.10 beyond it
+  EXPECT_EQ(diff.regressions, 1u);
+  EXPECT_FALSE(diff.structural_mismatch());
+
+  // Improvements never flag.
+  const scenario::SummaryDiff improved =
+      scenario::diff_summaries(b, a, 0.005);
+  EXPECT_EQ(improved.regressions, 0u);
+}
+
+TEST(SummaryDiffTest, DetectsStructuralMismatch) {
+  Json a = fake_summary("base", 0.9, 0.8);
+  Json b = fake_summary("cand", 0.9, 0.8);
+  b.find("results")->as_array().pop_back();
+  const scenario::SummaryDiff diff = scenario::diff_summaries(a, b, 0.0);
+  EXPECT_TRUE(diff.structural_mismatch());
+  ASSERT_EQ(diff.only_in_a.size(), 1u);
+  EXPECT_EQ(diff.only_in_a[0], "c1");
+}
+
+}  // namespace
+}  // namespace clktune

@@ -1,0 +1,164 @@
+// End-to-end serve tests: a real daemon on an ephemeral loopback port, real
+// client connections.  A submitted scenario must stream back exactly the
+// artifact `clktune run` (run_scenario) produces for the same document; a
+// submitted campaign streams one result per cell and serves a repeat
+// submission entirely from the cache.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "scenario/scenario.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/json.h"
+#include "util/socket.h"
+
+namespace clktune {
+namespace {
+
+using util::Json;
+
+Json tiny_scenario_doc() {
+  return Json::parse(R"({
+    "name": "tiny",
+    "design": {"synthetic": {"name": "tiny", "num_flipflops": 30,
+                             "num_gates": 220, "seed": 5}},
+    "clock": {"sigma_offset": 0.0, "period_samples": 400},
+    "insertion": {"num_samples": 200, "steps": 8},
+    "evaluation": {"samples": 400, "seed": 99}
+  })");
+}
+
+Json tiny_campaign_doc() {
+  Json doc = Json::object();
+  doc.set("name", "tiny_campaign");
+  doc.set("base", tiny_scenario_doc());
+  Json sweep = Json::object();
+  sweep.set("clock.sigma_offset",
+            Json(util::JsonArray{Json(0.0), Json(1.0)}));
+  doc.set("sweep", std::move(sweep));
+  return doc;
+}
+
+/// Daemon on an ephemeral port with its accept loop on a worker thread;
+/// shut down via the wire protocol (or stop() as a fallback).
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    serve::ServeOptions options;
+    options.port = 0;
+    options.threads = 2;
+    server_ = std::make_unique<serve::ScenarioServer>(std::move(options));
+    server_->start();
+    thread_ = std::thread([this] { server_->serve_forever(); });
+  }
+
+  void TearDown() override {
+    server_->stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  serve::SubmitOutcome submit(const std::string& cmd, const Json& doc) {
+    return serve::submit_request("127.0.0.1", server_->port(), cmd, doc);
+  }
+
+  std::unique_ptr<serve::ScenarioServer> server_;
+  std::thread thread_;
+};
+
+TEST_F(ServerFixture, RunMatchesDirectExecutionByteForByte) {
+  const Json doc = tiny_scenario_doc();
+  const serve::SubmitOutcome outcome =
+      serve::submit_document("127.0.0.1", server_->port(), doc);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome.results.size(), 1u);
+  EXPECT_EQ(outcome.cached, 0u);
+  EXPECT_EQ(outcome.targets_missed(), 0u);
+
+  const auto spec = scenario::ScenarioSpec::from_json(doc);
+  const scenario::ScenarioResult local = scenario::run_scenario(spec, 2);
+  EXPECT_EQ(outcome.results[0].dump(), local.to_json().dump());
+
+  // The same document again is served from the cache, byte-identically.
+  const serve::SubmitOutcome warm =
+      serve::submit_document("127.0.0.1", server_->port(), doc);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.cached, 1u);
+  EXPECT_EQ(warm.results[0].dump(), outcome.results[0].dump());
+}
+
+TEST_F(ServerFixture, SweepStreamsOneResultPerCellAndCachesRepeats) {
+  const Json doc = tiny_campaign_doc();
+  std::size_t result_events = 0;
+  const serve::SubmitOutcome cold = serve::submit_request(
+      "127.0.0.1", server_->port(), "sweep", doc, [&](const Json& event) {
+        result_events += event.at("event").as_string() == "result";
+      });
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(result_events, 2u);
+  ASSERT_EQ(cold.results.size(), 2u);
+  EXPECT_EQ(cold.final_event.at("scenarios_run").as_uint(), 2u);
+  EXPECT_EQ(cold.cached, 0u);
+  // Expansion-index order regardless of completion order.
+  EXPECT_EQ(cold.results[0].at("setting").as_string(), "muT");
+  EXPECT_EQ(cold.results[1].at("setting").as_string(), "muT+s");
+
+  const serve::SubmitOutcome warm =
+      serve::submit_request("127.0.0.1", server_->port(), "sweep", doc);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.cached, 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_EQ(warm.results[i].dump(), cold.results[i].dump());
+
+  // The base document is not any expanded cell (name suffix, seed stride),
+  // so submitting it directly computes fresh under its own content key.
+  const serve::SubmitOutcome run =
+      serve::submit_document("127.0.0.1", server_->port(),
+                             tiny_scenario_doc());
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.cached, 0u);
+}
+
+TEST_F(ServerFixture, StatusReportsCountersAndCacheStats) {
+  (void)submit("run", tiny_scenario_doc());
+  const serve::SubmitOutcome status = submit("status", Json());
+  EXPECT_EQ(status.final_event.at("event").as_string(), "status");
+  EXPECT_EQ(status.final_event.at("scenarios_run").as_uint(), 1u);
+  EXPECT_GE(status.final_event.at("requests").as_uint(), 2u);
+  EXPECT_EQ(status.final_event.at("cache").at("misses").as_uint(), 1u);
+}
+
+TEST_F(ServerFixture, MalformedAndInvalidRequestsReportErrors) {
+  // Unknown command.
+  const serve::SubmitOutcome unknown = submit("frobnicate", Json());
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.final_event.at("event").as_string(), "error");
+
+  // Invalid scenario document (typo'd key) — loud, structured error.
+  Json bad = tiny_scenario_doc();
+  bad.set("numsamples", 5);
+  const serve::SubmitOutcome invalid = submit("run", bad);
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.final_event.at("event").as_string(), "error");
+  EXPECT_NE(invalid.final_event.at("message").as_string().find("numsamples"),
+            std::string::npos);
+
+  // Garbage bytes: an error line comes back and the connection closes.
+  const util::TcpSocket connection =
+      util::tcp_connect("127.0.0.1", server_->port());
+  util::tcp_write_all(connection, "this is not json\n");
+  util::LineReader reader(connection);
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(Json::parse(line).at("event").as_string(), "error");
+}
+
+TEST_F(ServerFixture, ShutdownRequestStopsTheAcceptLoop) {
+  const serve::SubmitOutcome outcome = submit("shutdown", Json());
+  EXPECT_TRUE(outcome.ok());
+  thread_.join();  // serve_forever() must return on its own
+}
+
+}  // namespace
+}  // namespace clktune
