@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_steps.dir/bench/ablation_steps.cpp.o"
+  "CMakeFiles/bench_ablation_steps.dir/bench/ablation_steps.cpp.o.d"
+  "bench_ablation_steps"
+  "bench_ablation_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pruning.dir/bench/fig4_pruning.cpp.o"
+  "CMakeFiles/bench_fig4_pruning.dir/bench/fig4_pruning.cpp.o.d"
+  "bench_fig4_pruning"
+  "bench_fig4_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

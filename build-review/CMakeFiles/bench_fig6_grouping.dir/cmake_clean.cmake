@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_grouping.dir/bench/fig6_grouping.cpp.o"
+  "CMakeFiles/bench_fig6_grouping.dir/bench/fig6_grouping.cpp.o.d"
+  "bench_fig6_grouping"
+  "bench_fig6_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

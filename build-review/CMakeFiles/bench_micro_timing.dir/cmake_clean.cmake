@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_timing.dir/bench/micro_timing.cpp.o"
+  "CMakeFiles/bench_micro_timing.dir/bench/micro_timing.cpp.o.d"
+  "bench_micro_timing"
+  "bench_micro_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

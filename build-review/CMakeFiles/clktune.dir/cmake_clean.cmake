@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clktune.dir/src/cli/clktune_main.cpp.o"
+  "CMakeFiles/clktune.dir/src/cli/clktune_main.cpp.o.d"
+  "clktune"
+  "clktune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clktune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/result_cache.cpp" "CMakeFiles/clktune_lib.dir/src/cache/result_cache.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/cache/result_cache.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "CMakeFiles/clktune_lib.dir/src/core/baselines.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/core/baselines.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "CMakeFiles/clktune_lib.dir/src/core/engine.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "CMakeFiles/clktune_lib.dir/src/core/report.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/core/report.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "CMakeFiles/clktune_lib.dir/src/core/report_json.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/core/report_json.cpp.o.d"
+  "/root/repo/src/core/sample_solver.cpp" "CMakeFiles/clktune_lib.dir/src/core/sample_solver.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/core/sample_solver.cpp.o.d"
+  "/root/repo/src/feas/diff_constraints.cpp" "CMakeFiles/clktune_lib.dir/src/feas/diff_constraints.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/feas/diff_constraints.cpp.o.d"
+  "/root/repo/src/feas/tuning_plan.cpp" "CMakeFiles/clktune_lib.dir/src/feas/tuning_plan.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/feas/tuning_plan.cpp.o.d"
+  "/root/repo/src/feas/yield_eval.cpp" "CMakeFiles/clktune_lib.dir/src/feas/yield_eval.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/feas/yield_eval.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "CMakeFiles/clktune_lib.dir/src/lp/simplex.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/lp/simplex.cpp.o.d"
+  "/root/repo/src/mc/period_mc.cpp" "CMakeFiles/clktune_lib.dir/src/mc/period_mc.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/mc/period_mc.cpp.o.d"
+  "/root/repo/src/mc/sampler.cpp" "CMakeFiles/clktune_lib.dir/src/mc/sampler.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/mc/sampler.cpp.o.d"
+  "/root/repo/src/milp/branch_and_bound.cpp" "CMakeFiles/clktune_lib.dir/src/milp/branch_and_bound.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/milp/branch_and_bound.cpp.o.d"
+  "/root/repo/src/netlist/bench_io.cpp" "CMakeFiles/clktune_lib.dir/src/netlist/bench_io.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/netlist/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/cell_library.cpp" "CMakeFiles/clktune_lib.dir/src/netlist/cell_library.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/netlist/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/generator.cpp" "CMakeFiles/clktune_lib.dir/src/netlist/generator.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/netlist/generator.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "CMakeFiles/clktune_lib.dir/src/netlist/netlist.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/nominal_sta.cpp" "CMakeFiles/clktune_lib.dir/src/netlist/nominal_sta.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/netlist/nominal_sta.cpp.o.d"
+  "/root/repo/src/netlist/paper_circuits.cpp" "CMakeFiles/clktune_lib.dir/src/netlist/paper_circuits.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/netlist/paper_circuits.cpp.o.d"
+  "/root/repo/src/scenario/campaign.cpp" "CMakeFiles/clktune_lib.dir/src/scenario/campaign.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/scenario/campaign.cpp.o.d"
+  "/root/repo/src/scenario/scenario.cpp" "CMakeFiles/clktune_lib.dir/src/scenario/scenario.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/scenario/scenario.cpp.o.d"
+  "/root/repo/src/scenario/summary_diff.cpp" "CMakeFiles/clktune_lib.dir/src/scenario/summary_diff.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/scenario/summary_diff.cpp.o.d"
+  "/root/repo/src/serve/client.cpp" "CMakeFiles/clktune_lib.dir/src/serve/client.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/serve/client.cpp.o.d"
+  "/root/repo/src/serve/server.cpp" "CMakeFiles/clktune_lib.dir/src/serve/server.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/serve/server.cpp.o.d"
+  "/root/repo/src/ssta/canonical.cpp" "CMakeFiles/clktune_lib.dir/src/ssta/canonical.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/ssta/canonical.cpp.o.d"
+  "/root/repo/src/ssta/seq_graph.cpp" "CMakeFiles/clktune_lib.dir/src/ssta/seq_graph.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/ssta/seq_graph.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "CMakeFiles/clktune_lib.dir/src/util/histogram.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/util/histogram.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "CMakeFiles/clktune_lib.dir/src/util/json.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/util/json.cpp.o.d"
+  "/root/repo/src/util/sha256.cpp" "CMakeFiles/clktune_lib.dir/src/util/sha256.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/util/sha256.cpp.o.d"
+  "/root/repo/src/util/socket.cpp" "CMakeFiles/clktune_lib.dir/src/util/socket.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/util/socket.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/clktune_lib.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/clktune_lib.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/clktune_lib.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

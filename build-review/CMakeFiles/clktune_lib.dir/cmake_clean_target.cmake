@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclktune_lib.a"
+)

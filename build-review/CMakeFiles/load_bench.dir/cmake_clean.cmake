@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_bench.dir/examples/load_bench.cpp.o"
+  "CMakeFiles/load_bench.dir/examples/load_bench.cpp.o.d"
+  "load_bench"
+  "load_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_silicon_config.dir/examples/post_silicon_config.cpp.o"
+  "CMakeFiles/post_silicon_config.dir/examples/post_silicon_config.cpp.o.d"
+  "post_silicon_config"
+  "post_silicon_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_silicon_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

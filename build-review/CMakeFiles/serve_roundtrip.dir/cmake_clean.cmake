@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_roundtrip.dir/examples/serve_roundtrip.cpp.o"
+  "CMakeFiles/serve_roundtrip.dir/examples/serve_roundtrip.cpp.o.d"
+  "serve_roundtrip"
+  "serve_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

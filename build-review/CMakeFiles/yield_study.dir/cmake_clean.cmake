@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_study.dir/examples/yield_study.cpp.o"
+  "CMakeFiles/yield_study.dir/examples/yield_study.cpp.o.d"
+  "yield_study"
+  "yield_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
