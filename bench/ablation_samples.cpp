@@ -12,6 +12,7 @@ using namespace clktune;
 
 int run() {
   bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  bench::BenchReport report("ablation_samples");
   auto spec = *netlist::paper_circuit_spec(
       util::env_string("CLKTUNE_CONV_CIRCUIT", "s9234"));
   const bench::PreparedCircuit pc = bench::prepare(spec, cfg);
@@ -33,6 +34,8 @@ int run() {
     core::BufferInsertionEngine engine(pc.design, pc.graph, t, ic);
     const core::InsertionResult res = engine.run();
     const double secs = sw.seconds();
+    report.count_insertion(res, n);
+    report.count_samples(cfg.eval_samples);
     const feas::YieldResult y = feas::YieldEvaluator(pc.graph, res.plan, t)
                                     .evaluate(eval, cfg.eval_samples,
                                               cfg.threads);
@@ -42,7 +45,7 @@ int run() {
                 100.0 * y.yield, 100.0 * (y.yield - yo.yield), secs);
     std::fflush(stdout);
   }
-  return 0;
+  return report.write();
 }
 
 }  // namespace

@@ -17,6 +17,7 @@ struct Variant {
 
 int run() {
   bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  bench::BenchReport report("ablation_steps");
   auto spec = *netlist::paper_circuit_spec(
       util::env_string("CLKTUNE_ABLATION_CIRCUIT", "s13207"));
   const bench::PreparedCircuit pc = bench::prepare(spec, cfg);
@@ -51,6 +52,8 @@ int run() {
     core::BufferInsertionEngine engine(pc.design, pc.graph, t, ic);
     const core::InsertionResult res = engine.run();
     const double secs = sw.seconds();
+    report.count_insertion(res, ic.num_samples);
+    report.count_samples(cfg.eval_samples);
     const feas::YieldResult y = feas::YieldEvaluator(pc.graph, res.plan, t)
                                     .evaluate(eval, cfg.eval_samples,
                                               cfg.threads);
@@ -59,7 +62,7 @@ int run() {
                 100.0 * y.yield, 100.0 * (y.yield - yo.yield), secs);
     std::fflush(stdout);
   }
-  return 0;
+  return report.write();
 }
 
 }  // namespace

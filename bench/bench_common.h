@@ -6,9 +6,15 @@
 //   CLKTUNE_EVAL      yield-evaluation samples       (default 10000)
 //   CLKTUNE_THREADS   worker threads                 (default: all cores)
 //   CLKTUNE_CIRCUITS  comma list to restrict circuits (default: all eight)
+//   CLKTUNE_EVAL_CACHE_MB  total delay-cache budget, MB (default 512,
+//                          split across a bench's simultaneously resident
+//                          caches; oversized circuits fall back to
+//                          streaming)
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -20,7 +26,10 @@
 #include "netlist/generator.h"
 #include "netlist/paper_circuits.h"
 #include "ssta/seq_graph.h"
+#include "util/alloc_counter.h"
 #include "util/env.h"
+#include "util/json.h"
+#include "util/timer.h"
 
 namespace clktune::bench {
 
@@ -28,7 +37,14 @@ struct BenchConfig {
   std::uint64_t samples;
   std::uint64_t eval_samples;
   int threads;
+  long eval_cache_mb;
   std::vector<std::string> circuits;
+
+  std::uint64_t eval_cache_bytes() const {
+    return eval_cache_mb <= 0
+               ? 0
+               : static_cast<std::uint64_t>(eval_cache_mb) << 20;
+  }
 
   static BenchConfig from_env() {
     BenchConfig cfg;
@@ -37,6 +53,7 @@ struct BenchConfig {
     cfg.eval_samples =
         static_cast<std::uint64_t>(util::env_long("CLKTUNE_EVAL", 10000));
     cfg.threads = static_cast<int>(util::env_long("CLKTUNE_THREADS", 0));
+    cfg.eval_cache_mb = util::env_long("CLKTUNE_EVAL_CACHE_MB", 512);
     const std::string list = util::env_string("CLKTUNE_CIRCUITS", "");
     if (!list.empty()) {
       std::size_t pos = 0;
@@ -104,5 +121,70 @@ inline const char* setting_name(int sigmas) {
 /// Evaluation sampler seed is distinct from the insertion seed so reported
 /// yields are out-of-sample.
 inline constexpr std::uint64_t kEvalSeed = 0xE7A1;
+
+/// Machine-readable benchmark artifact: construct one at the top of a bench
+/// main, feed it counters as the run progresses, and `return report.write()`
+/// at the end.  Writes BENCH_<name>.json into the working directory with
+/// wall-clock seconds, samples/sec throughput, total MILP nodes and the
+/// main thread's heap-allocation count, so perf trajectories are diffable
+/// across commits (CI uploads them as artifacts; timings stay advisory).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Monte-Carlo sample problems processed (solves, yield checks, draws).
+  void count_samples(std::uint64_t n) { samples_ += n; }
+  void count_milp_nodes(std::uint64_t n) { milp_nodes_ += n; }
+  /// One engine run: its configured sample count plus its MILP nodes.
+  void count_insertion(const core::InsertionResult& res,
+                       std::uint64_t samples) {
+    samples_ += samples;
+    milp_nodes_ += res.step1.milp_nodes + res.step2a.milp_nodes +
+                   res.step2b.milp_nodes;
+  }
+  /// Extra named metric, appended after the standard fields.
+  void metric(const std::string& key, double value) {
+    extra_.set(key, value);
+  }
+  /// Headline samples/sec measured externally (micro benches); by default
+  /// the report derives it as samples / wall_seconds.
+  void override_samples_per_sec(double sps) { samples_per_sec_ = sps; }
+
+  int write() const {
+    const double secs = wall_.seconds();
+    util::Json j = util::Json::object();
+    j.set("bench", name_);
+    j.set("wall_seconds", secs);
+    j.set("samples", samples_);
+    const double sps = samples_per_sec_ >= 0.0
+                           ? samples_per_sec_
+                           : (secs > 0.0 && samples_ > 0
+                                  ? static_cast<double>(samples_) / secs
+                                  : 0.0);
+    j.set("samples_per_sec", sps);
+    j.set("milp_nodes", milp_nodes_);
+    j.set("allocations", allocs_.delta());
+    for (const auto& [key, value] : extra_.as_object()) j.set(key, value);
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << j.dump(2) << "\n";
+    std::fprintf(stderr, "wrote %s (%.2f s, %.0f samples/s)\n", path.c_str(),
+                 secs, sps);
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  util::Stopwatch wall_;
+  util::AllocCounterScope allocs_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t milp_nodes_ = 0;
+  double samples_per_sec_ = -1.0;
+  util::Json extra_ = util::Json::object();
+};
 
 }  // namespace clktune::bench

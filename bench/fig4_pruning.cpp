@@ -14,6 +14,7 @@ using namespace clktune;
 
 int run() {
   bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  bench::BenchReport report("fig4_pruning");
   auto spec = *netlist::paper_circuit_spec(
       util::env_string("CLKTUNE_FIG4_CIRCUIT", "s13207"));
   const bench::PreparedCircuit pc = bench::prepare(spec, cfg);
@@ -81,7 +82,11 @@ int run() {
       "buffers)\n",
       secs_on, secs_off, res.plan.physical_buffers(),
       res_off.plan.physical_buffers());
-  return 0;
+  report.count_insertion(res, cfg.samples);
+  report.count_insertion(res_off, cfg.samples);
+  report.metric("seconds_with_pruning", secs_on);
+  report.metric("seconds_without_pruning", secs_off);
+  return report.write();
 }
 
 }  // namespace

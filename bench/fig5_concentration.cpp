@@ -13,6 +13,7 @@ using namespace clktune;
 
 int run() {
   bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  bench::BenchReport report("fig5_concentration");
   auto spec = *netlist::paper_circuit_spec(
       util::env_string("CLKTUNE_FIG5_CIRCUIT", "s9234"));
   const bench::PreparedCircuit pc = bench::prepare(spec, cfg);
@@ -20,9 +21,10 @@ int run() {
 
   core::BufferInsertionEngine engine(pc.design, pc.graph, t, cfg.insertion());
   const core::InsertionResult res = engine.run();
+  report.count_insertion(res, cfg.samples);
   if (res.buffers.empty()) {
     std::printf("no buffers inserted; nothing to plot\n");
-    return 0;
+    return report.write();
   }
   // Most-used buffer, as in the figure.
   std::size_t best = 0;
@@ -72,7 +74,7 @@ int run() {
   std::printf("average final range over %d buffers: %.2f steps (max %d)\n",
               res.plan.physical_buffers(), res.plan.average_range(),
               cfg.insertion().steps);
-  return 0;
+  return report.write();
 }
 
 }  // namespace

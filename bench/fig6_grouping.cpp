@@ -13,6 +13,7 @@ using namespace clktune;
 
 int run() {
   bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  bench::BenchReport report("fig6_grouping");
   auto spec = *netlist::paper_circuit_spec(
       util::env_string("CLKTUNE_FIG6_CIRCUIT", "ac97_ctrl"));
   const bench::PreparedCircuit pc = bench::prepare(spec, cfg);
@@ -20,12 +21,13 @@ int run() {
 
   core::BufferInsertionEngine engine(pc.design, pc.graph, t, cfg.insertion());
   const core::InsertionResult res = engine.run();
+  report.count_insertion(res, cfg.samples);
   const std::size_t nb = res.buffers.size();
   std::printf("Fig. 6 reproduction: circuit=%s T=%.1f ps, %zu buffers\n\n",
               spec.name.c_str(), t, nb);
   if (nb < 2) {
     std::printf("fewer than two buffers; grouping is trivial\n");
-    return 0;
+    return report.write();
   }
 
   std::printf("tuning correlation matrix (upper triangle, x100):\n      ");
@@ -85,7 +87,8 @@ int run() {
       "buffers: %.2f%% (cost %.2f%%)\n",
       100.0 * y_ungrouped, 100.0 * y_grouped,
       100.0 * (y_ungrouped - y_grouped));
-  return 0;
+  report.count_samples(2 * cfg.eval_samples);
+  return report.write();
 }
 
 }  // namespace

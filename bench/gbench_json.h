@@ -1,0 +1,53 @@
+// Glue between the Google Benchmark micro benches and the BENCH_<name>.json
+// artifact: a console reporter that also captures per-iteration times, and
+// a shared main() body that runs the registered benchmarks and writes the
+// report with a designated benchmark's rate as the headline samples/sec.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace clktune::bench {
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      per_iter_seconds[run.benchmark_name()] =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::map<std::string, double> per_iter_seconds;
+};
+
+/// Runs all registered benchmarks and writes BENCH_<name>.json.  The
+/// headline samples/sec is 1 / per-iteration-time of `headline_benchmark`
+/// (one iteration there processes one Monte-Carlo sample); every
+/// benchmark's per-iteration seconds are recorded as extra metrics.
+inline int run_micro_benchmarks(int argc, char** argv, const char* name,
+                                const char* headline_benchmark) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchReport report(name);
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  for (const auto& [bench_name, seconds] : reporter.per_iter_seconds) {
+    report.metric("sec_per_iter/" + bench_name, seconds);
+    // Micro reports intentionally carry samples = 0: the headline rate is
+    // the designated kernel's per-iteration rate, not samples / wall.
+    if (bench_name == headline_benchmark && seconds > 0.0)
+      report.override_samples_per_sec(1.0 / seconds);
+  }
+  return report.write();
+}
+
+}  // namespace clktune::bench

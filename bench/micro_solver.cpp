@@ -1,11 +1,17 @@
 // Microbenchmarks of the optimisation substrate: bounded-variable simplex,
-// branch & bound, difference-constraint feasibility, and the per-sample
-// solver end to end.
+// branch & bound, difference-constraint feasibility (one-shot and
+// workspace-reuse), and the per-sample solver end to end — both the engine
+// hot path (cached constants + reusable workspace) and the from-scratch
+// path (sampler draw + quantize + solve) it replaced.
 #include <benchmark/benchmark.h>
+
+#include <array>
 
 #include "core/sample_solver.h"
 #include "feas/diff_constraints.h"
+#include "gbench_json.h"
 #include "lp/simplex.h"
+#include "mc/arc_constants.h"
 #include "mc/sampler.h"
 #include "milp/branch_and_bound.h"
 #include "netlist/generator.h"
@@ -77,6 +83,28 @@ void BM_DiffConstraintFeasibility(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffConstraintFeasibility)->Arg(32)->Arg(256);
 
+// Full build-solve cycle on a reused workspace: reset + adds + solve, the
+// shape of the greedy oracle and yield-check inner loops.
+void BM_DiffConstraintRebuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::SplitMix64 rng(5);
+  std::vector<std::array<int, 2>> pairs;
+  for (int e = 0; e < 4 * n; ++e) {
+    const int u = static_cast<int>(rng.next_below(n));
+    const int v = static_cast<int>(rng.next_below(n));
+    if (u != v) pairs.push_back({u, v});
+  }
+  feas::DiffConstraints sys;
+  std::uint64_t w = 0;
+  for (auto _ : state) {
+    sys.reset(n);
+    for (const auto& [u, v] : pairs)
+      sys.add(u, v, static_cast<std::int64_t>(w++ % 20));
+    benchmark::DoNotOptimize(sys.solve_inplace());
+  }
+}
+BENCHMARK(BM_DiffConstraintRebuild)->Arg(32)->Arg(256);
+
 struct SolverFixture {
   netlist::Design design;
   ssta::SeqGraph graph;
@@ -93,7 +121,34 @@ struct SolverFixture {
   }
 };
 
+// The engine hot path: constants served from the cross-pass cache, solver
+// running on a warm workspace.  One iteration = one sample.
 void BM_PerSampleSolve(benchmark::State& state) {
+  static const SolverFixture fx;
+  const double tau = fx.t0 / 8.0;
+  const std::uint64_t window = 512;
+  const core::SampleSolver solver(
+      fx.graph, tau / 20.0, fx.t0,
+      core::CandidateWindows::floating(fx.graph.num_ffs, 20));
+  const mc::Sampler sampler(fx.graph, 99);
+  mc::SampleConstantCache cache(sampler, fx.t0, tau / 20.0, window,
+                                1ull << 30);
+  mc::ArcConstants scratch;
+  for (std::uint64_t k = 0; k < window; ++k) cache.fill(k, scratch);
+  core::SolveWorkspace ws;
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    const core::SampleSolution sol =
+        solver.solve(cache.get(k++ % window, scratch),
+                     core::ConcentrateMode::toward_zero, nullptr, ws);
+    benchmark::DoNotOptimize(sol.nk);
+  }
+}
+BENCHMARK(BM_PerSampleSolve);
+
+// The pre-cache shape: every sample pays a sampler draw and a quantize
+// pass before the solve (what steps 2a/2b used to cost).
+void BM_PerSampleSolveFromScratch(benchmark::State& state) {
   static const SolverFixture fx;
   const double tau = fx.t0 / 8.0;
   const core::SampleSolver solver(
@@ -109,8 +164,11 @@ void BM_PerSampleSolve(benchmark::State& state) {
     benchmark::DoNotOptimize(sol.nk);
   }
 }
-BENCHMARK(BM_PerSampleSolve);
+BENCHMARK(BM_PerSampleSolveFromScratch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return clktune::bench::run_micro_benchmarks(argc, argv, "micro_solver",
+                                              "BM_PerSampleSolve");
+}

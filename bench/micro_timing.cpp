@@ -1,8 +1,12 @@
 // Microbenchmarks of the timing substrate: sequential-graph extraction,
-// per-sample arc evaluation, period Monte-Carlo and yield checking.
+// per-sample arc evaluation (split and fused-quantizing forms), period
+// Monte-Carlo and yield checking (drawn and cached-delay forms).
 #include <benchmark/benchmark.h>
 
 #include "feas/yield_eval.h"
+#include "gbench_json.h"
+#include "mc/arc_constants.h"
+#include "mc/delay_cache.h"
 #include "mc/period_mc.h"
 #include "mc/sampler.h"
 #include "netlist/generator.h"
@@ -45,24 +49,73 @@ void BM_ArcSampleEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_ArcSampleEvaluation);
 
-void BM_YieldCheckPerSample(benchmark::State& state) {
+// The fused kernel the insertion flow runs on: draw + quantize in one pass,
+// no ArcSample materialisation.
+void BM_FusedConstantEvaluation(benchmark::State& state) {
   static const netlist::Design design = make_design(500, 4000);
   static const ssta::SeqGraph graph = ssta::extract_seq_graph(design);
   const mc::Sampler sampler(graph, 3);
-  const mc::PeriodStats ps = mc::sample_min_period(sampler, 500);
-  feas::TuningPlan plan;
-  plan.step_ps = ps.mu() / 160.0;
-  for (int f = 0; f < 8; ++f)
-    plan.buffers.push_back(feas::BufferWindow{f * 10, -10, 10});
-  plan.reset_groups();
-  const feas::YieldEvaluator eval(graph, plan, ps.mu());
+  const mc::PeriodStats ps = mc::sample_min_period(sampler, 200);
+  mc::ArcConstants constants;
+  constants.resize(graph.arcs.size());
   std::uint64_t k = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(eval.sample_feasible(sampler, k++));
+    sampler.evaluate_constants(k++, ps.mu(), ps.mu() / 160.0,
+                               constants.setup_steps.data(),
+                               constants.hold_steps.data());
+    benchmark::DoNotOptimize(constants.setup_steps.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.arcs.size()));
+}
+BENCHMARK(BM_FusedConstantEvaluation);
+
+struct YieldFixture {
+  const netlist::Design design = make_design(500, 4000);
+  const ssta::SeqGraph graph = ssta::extract_seq_graph(design);
+  mc::Sampler sampler{graph, 3};
+  mc::PeriodStats ps = mc::sample_min_period(sampler, 500);
+
+  feas::TuningPlan plan() const {
+    feas::TuningPlan p;
+    p.step_ps = ps.mu() / 160.0;
+    for (int f = 0; f < 8; ++f)
+      p.buffers.push_back(feas::BufferWindow{f * 10, -10, 10});
+    p.reset_groups();
+    return p;
+  }
+};
+
+void BM_YieldCheckPerSample(benchmark::State& state) {
+  static const YieldFixture fx;
+  const feas::YieldEvaluator eval(fx.graph, fx.plan(), fx.ps.mu());
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.sample_feasible(fx.sampler, k++));
   }
 }
 BENCHMARK(BM_YieldCheckPerSample);
 
+// The shared-delay-cache path measurements reuse across evaluations: the
+// sampling work is gone, leaving sign tests plus a tiny SPFA.
+void BM_YieldCheckCachedDelays(benchmark::State& state) {
+  static const YieldFixture fx;
+  const feas::YieldEvaluator eval(fx.graph, fx.plan(), fx.ps.mu());
+  const std::uint64_t window = 512;
+  mc::SampleDelayCache cache(fx.sampler, window, 1ull << 30);
+  mc::ArcSample scratch;
+  for (std::uint64_t k = 0; k < window; ++k) cache.fill(k, scratch);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    const mc::ArcDelaysView view = cache.get(k++ % window, scratch);
+    benchmark::DoNotOptimize(eval.sample_feasible(view));
+  }
+}
+BENCHMARK(BM_YieldCheckCachedDelays);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return clktune::bench::run_micro_benchmarks(argc, argv, "micro_timing",
+                                              "BM_YieldCheckPerSample");
+}

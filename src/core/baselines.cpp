@@ -8,12 +8,16 @@
 
 namespace clktune::core {
 
-feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
-                                        const mc::Sampler& sampler,
-                                        double clock_period_ps,
-                                        std::uint64_t samples, int k,
-                                        int steps, double step_ps,
-                                        int threads) {
+namespace {
+
+/// Shared ranking body: `delays_of(s, scratch)` yields sample s's realised
+/// delays (drawn directly or through a cache).
+template <class DelaysOf>
+std::vector<std::uint64_t> criticality_incidence(const ssta::SeqGraph& graph,
+                                                 double clock_period_ps,
+                                                 std::uint64_t samples,
+                                                 int threads,
+                                                 const DelaysOf& delays_of) {
   const std::size_t workers = util::resolve_thread_count(
       threads <= 0 ? 0 : static_cast<std::size_t>(threads));
   std::vector<std::vector<std::uint64_t>> partial(
@@ -23,15 +27,15 @@ feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
   util::parallel_chunks(
       static_cast<std::size_t>(samples), workers,
       [&](std::size_t w, std::size_t begin, std::size_t end) {
-        mc::ArcSample arcs;
+        mc::ArcSample scratch;
         for (std::size_t s = begin; s < end; ++s) {
-          sampler.evaluate(s, arcs);
+          const mc::ArcDelaysView view = delays_of(s, scratch);
           for (std::size_t e = 0; e < graph.arcs.size(); ++e) {
             const ssta::SeqArc& arc = graph.arcs[e];
             const auto i = static_cast<std::size_t>(arc.src_ff);
             const auto j = static_cast<std::size_t>(arc.dst_ff);
             const double slack = clock_period_ps - graph.setup_ps[j] -
-                                 arcs.dmax[e] + graph.skew_ps[j] -
+                                 view.dmax[e] + graph.skew_ps[j] -
                                  graph.skew_ps[i];
             if (slack < 0.0) {
               ++partial[w][i];
@@ -45,7 +49,12 @@ feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
                                        0);
   for (const auto& p : partial)
     for (std::size_t f = 0; f < incidence.size(); ++f) incidence[f] += p[f];
+  return incidence;
+}
 
+feas::TuningPlan plan_from_incidence(const ssta::SeqGraph& graph,
+                                     const std::vector<std::uint64_t>& incidence,
+                                     int k, int steps, double step_ps) {
   std::vector<int> order(static_cast<std::size_t>(graph.num_ffs));
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
@@ -63,6 +72,38 @@ feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
   }
   plan.reset_groups();
   return plan;
+}
+
+}  // namespace
+
+feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
+                                        const mc::Sampler& sampler,
+                                        double clock_period_ps,
+                                        std::uint64_t samples, int k,
+                                        int steps, double step_ps,
+                                        int threads) {
+  const auto incidence = criticality_incidence(
+      graph, clock_period_ps, samples, threads,
+      [&](std::size_t s, mc::ArcSample& scratch) {
+        sampler.evaluate(s, scratch);
+        return mc::ArcDelaysView{scratch.dmax.data(), scratch.dmin.data(),
+                                 graph.arcs.size()};
+      });
+  return plan_from_incidence(graph, incidence, k, steps, step_ps);
+}
+
+feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
+                                        mc::SampleDelayCache& delays,
+                                        double clock_period_ps,
+                                        std::uint64_t samples, int k,
+                                        int steps, double step_ps,
+                                        int threads, bool fill) {
+  const auto incidence = criticality_incidence(
+      graph, clock_period_ps, samples, threads,
+      [&](std::size_t s, mc::ArcSample& scratch) {
+        return fill ? delays.fill(s, scratch) : delays.get(s, scratch);
+      });
+  return plan_from_incidence(graph, incidence, k, steps, step_ps);
 }
 
 feas::TuningPlan oracle_plan(const ssta::SeqGraph& graph, int steps,

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "feas/tuning_plan.h"
+#include "mc/delay_cache.h"
 #include "mc/sampler.h"
 #include "ssta/seq_graph.h"
 
@@ -26,6 +27,16 @@ feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
                                         std::uint64_t samples, int k,
                                         int steps, double step_ps,
                                         int threads = 0);
+
+/// Same ranking through a shared delay cache (delays are clock-period
+/// independent, so one cache serves every setting).  fill=true computes
+/// and stores the delays; fill=false reuses them.
+feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
+                                        mc::SampleDelayCache& delays,
+                                        double clock_period_ps,
+                                        std::uint64_t samples, int k,
+                                        int steps, double step_ps,
+                                        int threads, bool fill);
 
 /// Buffers on every flip-flop, symmetric +-steps/2 windows.
 feas::TuningPlan oracle_plan(const ssta::SeqGraph& graph, int steps,

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/sample_solver.h"
+#include "mc/arc_constants.h"
 #include "mc/sampler.h"
 #include "netlist/nominal_sta.h"
 #include "util/assert.h"
@@ -25,7 +26,8 @@ struct PassOutput {
   PhaseDiagnostics diag;
 };
 
-PassOutput run_pass(const ssta::SeqGraph& graph, const mc::Sampler& sampler,
+PassOutput run_pass(const ssta::SeqGraph& graph,
+                    mc::SampleConstantCache& cache, bool first_pass,
                     std::uint64_t samples, const CandidateWindows& windows,
                     double step_ps, double clock_period, ConcentrateMode mode,
                     const std::vector<double>* targets,
@@ -45,12 +47,17 @@ PassOutput run_pass(const ssta::SeqGraph& graph, const mc::Sampler& sampler,
   // Strided scheduling: failing samples (the expensive ones) cluster, and
   // interleaving spreads them across workers.  All per-sample outputs are
   // written to sample-indexed slots, so the result is schedule-independent.
+  // The first pass derives every sample's quantized arc constants (storing
+  // them when the cache fits its byte budget); later passes reuse them —
+  // concurrent fill() calls touch disjoint per-sample slices.
   util::parallel_strided(
       static_cast<std::size_t>(samples), workers,
       [&](std::size_t w, std::size_t k) {
-        thread_local mc::ArcSample arcs;  // per-worker scratch
-        sampler.evaluate(k, arcs);
-        SampleSolution sol = solver.solve(arcs, mode, targets);
+        thread_local mc::ArcConstants scratch;  // per-worker scratch
+        thread_local SolveWorkspace ws;
+        const mc::ArcConstantsView constants =
+            first_pass ? cache.fill(k, scratch) : cache.get(k, scratch);
+        SampleSolution sol = solver.solve(constants, mode, targets, ws);
         PhaseDiagnostics& d = diags[w];
         d.milps_solved += static_cast<std::uint64_t>(sol.milps_solved);
         d.milp_nodes += static_cast<std::uint64_t>(sol.milp_nodes);
@@ -102,6 +109,11 @@ InsertionResult BufferInsertionEngine::run() {
   res.plan.reset_groups();
 
   const mc::Sampler sampler(*graph_, config_.sample_seed);
+  // All three passes see identical per-sample constants (same sampler, T
+  // and step grid), so step 1 computes them once and steps 2a/2b reuse.
+  mc::SampleConstantCache cache(
+      sampler, clock_period_, step_ps_, samples,
+      config_.enable_sample_cache ? config_.sample_cache_max_bytes : 0);
 
   // ------------------- step 1: floating lower bounds ----------------------
   util::Stopwatch sw1;
@@ -110,7 +122,7 @@ InsertionResult BufferInsertionEngine::run() {
   const ConcentrateMode mode1 = config_.enable_concentration
                                     ? ConcentrateMode::toward_zero
                                     : ConcentrateMode::none;
-  PassOutput p1 = run_pass(*graph_, sampler, samples, floating, step_ps_,
+  PassOutput p1 = run_pass(*graph_, cache, true, samples, floating, step_ps_,
                            clock_period_, mode1, nullptr, config_, true);
   res.step1 = p1.diag;
   res.step1.seconds = sw1.seconds();
@@ -192,8 +204,9 @@ InsertionResult BufferInsertionEngine::run() {
   PassOutput p2a;
   if (!res.step2a_skipped) {
     util::Stopwatch sw;
-    p2a = run_pass(*graph_, sampler, samples, fixed, step_ps_, clock_period_,
-                   ConcentrateMode::none, nullptr, config_, false);
+    p2a = run_pass(*graph_, cache, false, samples, fixed, step_ps_,
+                   clock_period_, ConcentrateMode::none, nullptr, config_,
+                   false);
     res.step2a = p2a.diag;
     res.step2a.seconds = sw.seconds();
   } else {
@@ -245,7 +258,7 @@ InsertionResult BufferInsertionEngine::run() {
   const ConcentrateMode mode2 = config_.enable_concentration
                                     ? ConcentrateMode::toward_target
                                     : ConcentrateMode::none;
-  PassOutput p2b = run_pass(*graph_, sampler, samples, fixed, step_ps_,
+  PassOutput p2b = run_pass(*graph_, cache, false, samples, fixed, step_ps_,
                             clock_period_, mode2, &targets, config_, false);
   res.step2b = p2b.diag;
   res.step2b.seconds = sw2b.seconds();

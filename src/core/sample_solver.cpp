@@ -4,7 +4,6 @@
 #include <cmath>
 #include <optional>
 
-#include "feas/diff_constraints.h"
 #include "lp/model.h"
 #include "util/assert.h"
 
@@ -56,17 +55,11 @@ void SampleSolver::arc_constants(const mc::ArcSample& arc_sample,
   setup_steps.resize(g.arcs.size());
   hold_steps.resize(g.arcs.size());
   for (std::size_t e = 0; e < g.arcs.size(); ++e) {
-    const ssta::SeqArc& arc = g.arcs[e];
-    const auto i = static_cast<std::size_t>(arc.src_ff);
-    const auto j = static_cast<std::size_t>(arc.dst_ff);
-    const double setup_c = clock_period_ - g.setup_ps[j] - arc_sample.dmax[e] +
-                           g.skew_ps[j] - g.skew_ps[i];
-    const double hold_c = arc_sample.dmin[e] - g.hold_ps[j] + g.skew_ps[i] -
-                          g.skew_ps[j];
-    setup_steps[e] =
-        static_cast<std::int64_t>(std::floor(setup_c / step_ps_ + 1e-9));
-    hold_steps[e] =
-        static_cast<std::int64_t>(std::floor(hold_c / step_ps_ + 1e-9));
+    double setup_c = 0.0, hold_c = 0.0;
+    mc::arc_slack(g, e, arc_sample.dmax[e], arc_sample.dmin[e], clock_period_,
+                  setup_c, hold_c);
+    setup_steps[e] = mc::floor_steps(setup_c, step_ps_);
+    hold_steps[e] = mc::floor_steps(hold_c, step_ps_);
   }
 }
 
@@ -87,54 +80,80 @@ struct BuiltModel {
   std::vector<int> k_int_vars;
 };
 
-/// One connected component of the working constraint graph.
-struct Component {
-  std::vector<int> arcs;  // active arc ids
-  std::vector<int> vars;  // working-model var ids
-};
+using Component = SolveWorkspace::Component;
 
 }  // namespace
 
-// Working state of one sample's lazy-constraint solve.
+// Working state of one sample's lazy-constraint solve: a view over the
+// caller's SolveWorkspace.  Constructing one bumps the workspace epoch,
+// which invalidates every per-arc / per-FF stamp in O(1); only structures
+// actually touched this sample are (re)written.
 struct SampleSolver::WorkingModel {
   const SampleSolver& solver;
-  const std::vector<std::int64_t>& setup_steps;
-  const std::vector<std::int64_t>& hold_steps;
+  const mc::ArcConstantsView& constants;
+  SolveWorkspace& ws;
 
-  std::vector<int> active;     // arc ids in the working model
-  std::vector<char> in_model;  // per arc
-  std::vector<char> violated;  // per arc: violated at x = 0 (the seeds)
-  std::vector<int> var_of_ff;  // -1 when not (yet) a variable
-  std::vector<int> ff_of_var;
-  std::vector<std::int64_t> k_of_var;  // current assignment (steps)
+  WorkingModel(const SampleSolver& s, const mc::ArcConstantsView& c,
+               SolveWorkspace& w)
+      : solver(s), constants(c), ws(w) {
+    ++ws.epoch;
+    const std::size_t num_arcs = s.graph_->arcs.size();
+    const auto num_ffs = static_cast<std::size_t>(s.graph_->num_ffs);
+    if (ws.in_model_epoch.size() < num_arcs) {
+      ws.in_model_epoch.resize(num_arcs, 0);
+      ws.violated_epoch.resize(num_arcs, 0);
+    }
+    if (ws.var_epoch.size() < num_ffs) {
+      ws.var_epoch.resize(num_ffs, 0);
+      ws.var_of_ff.resize(num_ffs, -1);
+    }
+    ws.active.clear();
+    ws.ff_of_var.clear();
+    ws.k_of_var.clear();
+    ws.comps_used = 0;
+  }
 
-  WorkingModel(const SampleSolver& s, const std::vector<std::int64_t>& su,
-               const std::vector<std::int64_t>& ho)
-      : solver(s), setup_steps(su), hold_steps(ho) {
-    in_model.assign(s.graph_->arcs.size(), 0);
-    violated.assign(s.graph_->arcs.size(), 0);
-    var_of_ff.assign(static_cast<std::size_t>(s.graph_->num_ffs), -1);
+  std::int64_t setup(int e) const {
+    return constants.setup_steps[static_cast<std::size_t>(e)];
+  }
+  std::int64_t hold(int e) const {
+    return constants.hold_steps[static_cast<std::size_t>(e)];
+  }
+
+  bool in_model(int e) const {
+    return ws.in_model_epoch[static_cast<std::size_t>(e)] == ws.epoch;
+  }
+  bool violated(int e) const {
+    return ws.violated_epoch[static_cast<std::size_t>(e)] == ws.epoch;
+  }
+  void mark_violated(int e) {
+    ws.violated_epoch[static_cast<std::size_t>(e)] = ws.epoch;
   }
 
   void ensure_var(int ff) {
     if (!solver.windows_.candidate[static_cast<std::size_t>(ff)]) return;
-    auto& slot = var_of_ff[static_cast<std::size_t>(ff)];
-    if (slot >= 0) return;
-    slot = static_cast<int>(ff_of_var.size());
-    ff_of_var.push_back(ff);
-    k_of_var.push_back(0);
+    const auto fs = static_cast<std::size_t>(ff);
+    if (ws.var_epoch[fs] == ws.epoch) return;
+    ws.var_epoch[fs] = ws.epoch;
+    ws.var_of_ff[fs] = static_cast<int>(ws.ff_of_var.size());
+    ws.ff_of_var.push_back(ff);
+    ws.k_of_var.push_back(0);
   }
 
   void add_arc(int e) {
-    if (in_model[static_cast<std::size_t>(e)]) return;
-    in_model[static_cast<std::size_t>(e)] = 1;
-    active.push_back(e);
-    const ssta::SeqArc& arc = solver.graph_->arcs[static_cast<std::size_t>(e)];
+    const auto es = static_cast<std::size_t>(e);
+    if (ws.in_model_epoch[es] == ws.epoch) return;
+    ws.in_model_epoch[es] = ws.epoch;
+    ws.active.push_back(e);
+    const ssta::SeqArc& arc = solver.graph_->arcs[es];
     ensure_var(arc.src_ff);
     ensure_var(arc.dst_ff);
   }
 
-  int var_of(int ff) const { return var_of_ff[static_cast<std::size_t>(ff)]; }
+  int var_of(int ff) const {
+    const auto fs = static_cast<std::size_t>(ff);
+    return ws.var_epoch[fs] == ws.epoch ? ws.var_of_ff[fs] : -1;
+  }
 
   std::int64_t window_lo(int ff) const {
     return solver.windows_.k_lo[static_cast<std::size_t>(ff)];
@@ -143,90 +162,91 @@ struct SampleSolver::WorkingModel {
     return solver.windows_.k_hi[static_cast<std::size_t>(ff)];
   }
 
-  /// Connected components of the active arcs over working variables.
-  /// Deterministic: components ordered by their smallest active-arc index.
-  std::vector<Component> components() const {
-    std::vector<int> parent(ff_of_var.size());
-    for (std::size_t v = 0; v < parent.size(); ++v)
-      parent[v] = static_cast<int>(v);
+  /// Connected components of the active arcs over working variables, built
+  /// into the workspace pool; returns the component count.  Deterministic:
+  /// components ordered by their smallest active-arc index.
+  std::size_t components() {
+    const std::size_t nv = ws.ff_of_var.size();
+    ws.parent.resize(nv);
+    for (std::size_t v = 0; v < nv; ++v) ws.parent[v] = static_cast<int>(v);
     const auto find = [&](int v) {
-      while (parent[static_cast<std::size_t>(v)] != v) {
-        parent[static_cast<std::size_t>(v)] =
-            parent[static_cast<std::size_t>(
-                parent[static_cast<std::size_t>(v)])];
-        v = parent[static_cast<std::size_t>(v)];
+      while (ws.parent[static_cast<std::size_t>(v)] != v) {
+        ws.parent[static_cast<std::size_t>(v)] =
+            ws.parent[static_cast<std::size_t>(
+                ws.parent[static_cast<std::size_t>(v)])];
+        v = ws.parent[static_cast<std::size_t>(v)];
       }
       return v;
     };
-    for (int e : active) {
+    for (int e : ws.active) {
       const ssta::SeqArc& arc =
           solver.graph_->arcs[static_cast<std::size_t>(e)];
       const int vi = var_of(arc.src_ff);
       const int vj = var_of(arc.dst_ff);
       if (vi >= 0 && vj >= 0 && vi != vj)
-        parent[static_cast<std::size_t>(find(vi))] = find(vj);
+        ws.parent[static_cast<std::size_t>(find(vi))] = find(vj);
     }
-    std::vector<int> comp_of_root(ff_of_var.size(), -1);
-    std::vector<Component> comps;
+    ws.comp_of_root.assign(nv, -1);
+    ws.comps_used = 0;
     // Assign arcs in insertion order so component order is deterministic.
-    std::vector<int> sorted = active;
-    std::sort(sorted.begin(), sorted.end());
-    for (int e : sorted) {
+    ws.sorted_active.assign(ws.active.begin(), ws.active.end());
+    std::sort(ws.sorted_active.begin(), ws.sorted_active.end());
+    for (int e : ws.sorted_active) {
       const ssta::SeqArc& arc =
           solver.graph_->arcs[static_cast<std::size_t>(e)];
       const int vi = var_of(arc.src_ff);
       const int vj = var_of(arc.dst_ff);
       const int root = find(vi >= 0 ? vi : vj);
-      int& c = comp_of_root[static_cast<std::size_t>(root)];
+      int& c = ws.comp_of_root[static_cast<std::size_t>(root)];
       if (c < 0) {
-        c = static_cast<int>(comps.size());
-        comps.emplace_back();
+        c = static_cast<int>(ws.comps_used);
+        if (ws.comps_used == ws.comps.size()) ws.comps.emplace_back();
+        Component& fresh = ws.comps[ws.comps_used++];
+        fresh.arcs.clear();
+        fresh.vars.clear();
       }
-      comps[static_cast<std::size_t>(c)].arcs.push_back(e);
+      ws.comps[static_cast<std::size_t>(c)].arcs.push_back(e);
     }
-    std::vector<int> comp_of_var(ff_of_var.size(), -1);
-    for (std::size_t v = 0; v < ff_of_var.size(); ++v) {
-      const int c = comp_of_root[static_cast<std::size_t>(find(
-          static_cast<int>(v)))];
-      if (c >= 0) {
-        comps[static_cast<std::size_t>(c)].vars.push_back(
+    for (std::size_t v = 0; v < nv; ++v) {
+      const int c = ws.comp_of_root[static_cast<std::size_t>(
+          find(static_cast<int>(v)))];
+      if (c >= 0)
+        ws.comps[static_cast<std::size_t>(c)].vars.push_back(
             static_cast<int>(v));
-        comp_of_var[v] = c;
-      }
     }
-    return comps;
+    return ws.comps_used;
   }
 
   /// Vertex-cover lower bound on the adjusted-buffer count of a component,
   /// from its violated arcs.
-  int cover_lower_bound(const Component& comp) const {
-    std::vector<char> covered(ff_of_var.size(), 0);
+  int cover_lower_bound(const Component& comp) {
+    ws.covered.assign(ws.ff_of_var.size(), 0);
     int lb = 0;
     for (int e : comp.arcs) {
-      if (!violated[static_cast<std::size_t>(e)]) continue;
+      if (!violated(e)) continue;
       const ssta::SeqArc& arc =
           solver.graph_->arcs[static_cast<std::size_t>(e)];
       const int vi = var_of(arc.src_ff);
       const int vj = var_of(arc.dst_ff);
       if (vi >= 0 && vj >= 0) continue;
       const int forced = vi >= 0 ? vi : vj;
-      if (!covered[static_cast<std::size_t>(forced)]) {
-        covered[static_cast<std::size_t>(forced)] = 1;
+      if (!ws.covered[static_cast<std::size_t>(forced)]) {
+        ws.covered[static_cast<std::size_t>(forced)] = 1;
         ++lb;
       }
     }
     for (int e : comp.arcs) {
-      if (!violated[static_cast<std::size_t>(e)]) continue;
+      if (!violated(e)) continue;
       const ssta::SeqArc& arc =
           solver.graph_->arcs[static_cast<std::size_t>(e)];
       const int vi = var_of(arc.src_ff);
       const int vj = var_of(arc.dst_ff);
       if (vi < 0 || vj < 0) continue;
-      if (covered[static_cast<std::size_t>(vi)] ||
-          covered[static_cast<std::size_t>(vj)])
+      if (ws.covered[static_cast<std::size_t>(vi)] ||
+          ws.covered[static_cast<std::size_t>(vj)])
         continue;
-      covered[static_cast<std::size_t>(vi)] = 1;
-      covered[static_cast<std::size_t>(vj)] = 1;
+      ws.covered[static_cast<std::size_t>(vi)] = 1;
+      ws.covered[static_cast<std::size_t>(vj)] = 1;
       ++lb;
     }
     return lb;
@@ -240,7 +260,7 @@ struct SampleSolver::WorkingModel {
   single_buffer_interval(const Component& comp) const {
     int first_violated = -1;
     for (int e : comp.arcs)
-      if (violated[static_cast<std::size_t>(e)]) {
+      if (violated(e)) {
         first_violated = e;
         break;
       }
@@ -251,7 +271,7 @@ struct SampleSolver::WorkingModel {
       if (var_of(b) < 0) continue;
       bool all_incident = true;
       for (int e : comp.arcs) {
-        if (!violated[static_cast<std::size_t>(e)]) continue;
+        if (!violated(e)) continue;
         const ssta::SeqArc& arc =
             solver.graph_->arcs[static_cast<std::size_t>(e)];
         all_incident = all_incident && (arc.src_ff == b || arc.dst_ff == b);
@@ -264,33 +284,16 @@ struct SampleSolver::WorkingModel {
         const ssta::SeqArc& arc =
             solver.graph_->arcs[static_cast<std::size_t>(e)];
         if (arc.src_ff == arc.dst_ff) continue;  // tuning cancels
-        const auto es = static_cast<std::size_t>(e);
-        // The far endpoint must be at 0 for the closed form to hold: it is,
-        // because only this component's vars move and a one-buffer solution
-        // keeps the rest of the component at 0 -- but an arc may connect to
-        // ANOTHER component whose vars move too.  Restrict to arcs whose
-        // far endpoint is not a variable of a different component with
-        // active arcs...  Conservative and exact alternative: require the
-        // far endpoint to be a non-variable or a member of this component.
-        const int other = arc.src_ff == b ? arc.dst_ff : arc.src_ff;
-        const int vo = var_of(other);
-        if (vo >= 0) {
-          bool in_comp = false;
-          for (int v : comp.vars) in_comp = in_comp || v == vo;
-          if (!in_comp) {
-            // Cross-component arc: handled by the global verification
-            // pass; do not let it widen or narrow the closed form here.
-            // Treat the far endpoint as 0, which is what verification
-            // assumes too (components are disjoint in the active set, and
-            // any conflict surfaces as a fresh violated arc).
-          }
-        }
+        // Arcs whose far endpoint is a variable of another component are
+        // handled by the global verification pass; the closed form treats
+        // the far endpoint as 0 (components are disjoint in the active set,
+        // and any conflict surfaces as a fresh violated arc).
         if (arc.src_ff == b) {
-          hi = std::min(hi, setup_steps[es]);  //  x_b <= setup
-          lo = std::max(lo, -hold_steps[es]);  // -x_b <= hold
+          hi = std::min(hi, setup(e));  //  x_b <= setup
+          lo = std::max(lo, -hold(e));  // -x_b <= hold
         } else {
-          lo = std::max(lo, -setup_steps[es]);  // -x_b <= setup
-          hi = std::min(hi, hold_steps[es]);    //  x_b <= hold
+          lo = std::max(lo, -setup(e));  // -x_b <= setup
+          hi = std::min(hi, hold(e));    //  x_b <= hold
         }
       }
       if (lo > hi) continue;
@@ -314,7 +317,7 @@ struct SampleSolver::WorkingModel {
     for (std::size_t l = 0; l < nv; ++l) {
       const int v = comp.vars[l];
       local_of_var[static_cast<std::size_t>(v)] = static_cast<int>(l);
-      const int ff = ff_of_var[static_cast<std::size_t>(v)];
+      const int ff = ws.ff_of_var[static_cast<std::size_t>(v)];
       const double lo = static_cast<double>(window_lo(ff));
       const double hi = static_cast<double>(window_hi(ff));
       bm.k_var[l] = bm.model.add_variable(lo, hi, 0.0);
@@ -365,40 +368,40 @@ struct SampleSolver::WorkingModel {
         setup_row.push_back({bm.k_var[static_cast<std::size_t>(lj)], -1.0});
         hold_row.push_back({bm.k_var[static_cast<std::size_t>(lj)], 1.0});
       }
-      bm.model.add_row(
-          lp::Sense::less_equal, setup_row,
-          static_cast<double>(setup_steps[static_cast<std::size_t>(e)]));
-      bm.model.add_row(
-          lp::Sense::less_equal, hold_row,
-          static_cast<double>(hold_steps[static_cast<std::size_t>(e)]));
+      bm.model.add_row(lp::Sense::less_equal, setup_row,
+                       static_cast<double>(setup(e)));
+      bm.model.add_row(lp::Sense::less_equal, hold_row,
+                       static_cast<double>(hold(e)));
     }
     return bm;
   }
 
   /// Greedy buffer-set growth with a Bellman-Ford feasibility oracle over
-  /// one component.  Returns tunings per component var, or nullopt when the
-  /// component is infeasible even with all its candidates.
-  std::optional<std::vector<std::int64_t>> greedy_tunings(
-      const Component& comp) const {
+  /// one component.  Fills ws.greedy_x (tunings per component var) and
+  /// returns true, or returns false when the component is infeasible even
+  /// with all its candidates.  Zero allocations in steady state: the
+  /// difference-constraint oracle is a pooled workspace member.
+  bool greedy_tunings(const Component& comp) {
     const std::size_t nv = comp.vars.size();
-    std::vector<char> chosen(nv, 0);
-    std::vector<int> dense(nv, -1);
-    std::vector<int> local_of_var(ff_of_var.size(), -1);
+    ws.greedy_chosen.assign(nv, 0);
+    ws.greedy_dense.assign(nv, -1);
+    ws.greedy_local_of_var.assign(ws.ff_of_var.size(), -1);
     for (std::size_t l = 0; l < nv; ++l)
-      local_of_var[static_cast<std::size_t>(comp.vars[l])] =
+      ws.greedy_local_of_var[static_cast<std::size_t>(comp.vars[l])] =
           static_cast<int>(l);
 
     for (std::size_t round = 0; round <= nv; ++round) {
       int n_chosen = 0;
       for (std::size_t l = 0; l < nv; ++l)
-        dense[l] = chosen[l] ? n_chosen++ : -1;
+        ws.greedy_dense[l] = ws.greedy_chosen[l] ? n_chosen++ : -1;
       const int ref = n_chosen;
-      feas::DiffConstraints sys(n_chosen + 1);
+      feas::DiffConstraints& sys = ws.oracle;
+      sys.reset(n_chosen + 1);
       for (std::size_t l = 0; l < nv; ++l) {
-        if (!chosen[l]) continue;
-        const int ff = ff_of_var[static_cast<std::size_t>(comp.vars[l])];
-        sys.add(dense[l], ref, window_hi(ff));
-        sys.add(ref, dense[l], -window_lo(ff));
+        if (!ws.greedy_chosen[l]) continue;
+        const int ff = ws.ff_of_var[static_cast<std::size_t>(comp.vars[l])];
+        sys.add(ws.greedy_dense[l], ref, window_hi(ff));
+        sys.add(ref, ws.greedy_dense[l], -window_lo(ff));
       }
       for (int e : comp.arcs) {
         const ssta::SeqArc& arc =
@@ -406,100 +409,113 @@ struct SampleSolver::WorkingModel {
         const int vi = var_of(arc.src_ff);
         const int vj = var_of(arc.dst_ff);
         const int li =
-            vi >= 0 ? local_of_var[static_cast<std::size_t>(vi)] : -1;
+            vi >= 0 ? ws.greedy_local_of_var[static_cast<std::size_t>(vi)]
+                    : -1;
         const int lj =
-            vj >= 0 ? local_of_var[static_cast<std::size_t>(vj)] : -1;
-        const int ui = li >= 0 && chosen[static_cast<std::size_t>(li)]
-                           ? dense[static_cast<std::size_t>(li)]
+            vj >= 0 ? ws.greedy_local_of_var[static_cast<std::size_t>(vj)]
+                    : -1;
+        const int ui = li >= 0 && ws.greedy_chosen[static_cast<std::size_t>(li)]
+                           ? ws.greedy_dense[static_cast<std::size_t>(li)]
                            : ref;
-        const int uj = lj >= 0 && chosen[static_cast<std::size_t>(lj)]
-                           ? dense[static_cast<std::size_t>(lj)]
+        const int uj = lj >= 0 && ws.greedy_chosen[static_cast<std::size_t>(lj)]
+                           ? ws.greedy_dense[static_cast<std::size_t>(lj)]
                            : ref;
-        sys.add(ui, uj, setup_steps[static_cast<std::size_t>(e)]);
-        sys.add(uj, ui, hold_steps[static_cast<std::size_t>(e)]);
+        sys.add(ui, uj, setup(e));
+        sys.add(uj, ui, hold(e));
       }
-      if (const auto sol = sys.solve()) {
-        std::vector<std::int64_t> x(nv, 0);
+      if (const std::vector<std::int64_t>* sol = sys.solve_inplace()) {
+        ws.greedy_x.assign(nv, 0);
         const std::int64_t base = (*sol)[static_cast<std::size_t>(ref)];
         for (std::size_t l = 0; l < nv; ++l)
-          if (chosen[l]) x[l] = (*sol)[static_cast<std::size_t>(dense[l])] - base;
-        return x;
+          if (ws.greedy_chosen[l])
+            ws.greedy_x[l] =
+                (*sol)[static_cast<std::size_t>(ws.greedy_dense[l])] - base;
+        return true;
       }
       if (round == nv) break;
       // Add the unchosen var with the highest incidence on component arcs.
       int best = -1;
       int best_score = -1;
-      std::vector<int> score(nv, 0);
+      ws.greedy_score.assign(nv, 0);
       for (int e : comp.arcs) {
         const ssta::SeqArc& arc =
             solver.graph_->arcs[static_cast<std::size_t>(e)];
         for (const int ff : {arc.src_ff, arc.dst_ff}) {
           const int v = var_of(ff);
           if (v < 0) continue;
-          const int l = local_of_var[static_cast<std::size_t>(v)];
-          if (l >= 0 && !chosen[static_cast<std::size_t>(l)])
-            ++score[static_cast<std::size_t>(l)];
+          const int l = ws.greedy_local_of_var[static_cast<std::size_t>(v)];
+          if (l >= 0 && !ws.greedy_chosen[static_cast<std::size_t>(l)])
+            ++ws.greedy_score[static_cast<std::size_t>(l)];
         }
       }
       for (std::size_t l = 0; l < nv; ++l) {
-        if (chosen[l]) continue;
-        if (score[l] > best_score) {
-          best_score = score[l];
+        if (ws.greedy_chosen[l]) continue;
+        if (ws.greedy_score[l] > best_score) {
+          best_score = ws.greedy_score[l];
           best = static_cast<int>(l);
         }
       }
       if (best < 0) break;
-      chosen[static_cast<std::size_t>(best)] = 1;
+      ws.greedy_chosen[static_cast<std::size_t>(best)] = 1;
     }
-    return std::nullopt;
+    return false;
   }
 
   /// Checks the current global assignment against all arcs incident to
-  /// adjusted flip-flops; returns newly violated arcs not yet in the model.
-  std::vector<int> fresh_violations() const {
-    std::vector<int> fresh;
+  /// adjusted flip-flops; fills ws.fresh with newly violated arcs not yet
+  /// in the model.
+  const std::vector<int>& fresh_violations() {
+    ws.fresh.clear();
     const auto value_of_ff = [&](int ff) -> std::int64_t {
       const int v = var_of(ff);
-      return v < 0 ? 0 : k_of_var[static_cast<std::size_t>(v)];
+      return v < 0 ? 0 : ws.k_of_var[static_cast<std::size_t>(v)];
     };
-    for (std::size_t v = 0; v < ff_of_var.size(); ++v) {
-      if (k_of_var[v] == 0) continue;
-      const int ff = ff_of_var[v];
+    for (std::size_t v = 0; v < ws.ff_of_var.size(); ++v) {
+      if (ws.k_of_var[v] == 0) continue;
+      const int ff = ws.ff_of_var[v];
       for (int e : solver.graph_->arcs_of_ff[static_cast<std::size_t>(ff)]) {
-        if (in_model[static_cast<std::size_t>(e)]) continue;
+        if (in_model(e)) continue;
         const ssta::SeqArc& arc =
             solver.graph_->arcs[static_cast<std::size_t>(e)];
         if (arc.src_ff == arc.dst_ff) continue;
         const std::int64_t xi = value_of_ff(arc.src_ff);
         const std::int64_t xj = value_of_ff(arc.dst_ff);
-        if (xi - xj > setup_steps[static_cast<std::size_t>(e)] ||
-            xj - xi > hold_steps[static_cast<std::size_t>(e)])
-          fresh.push_back(e);
+        if (xi - xj > setup(e) || xj - xi > hold(e)) ws.fresh.push_back(e);
       }
     }
-    std::sort(fresh.begin(), fresh.end());
-    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
-    return fresh;
+    std::sort(ws.fresh.begin(), ws.fresh.end());
+    ws.fresh.erase(std::unique(ws.fresh.begin(), ws.fresh.end()),
+                   ws.fresh.end());
+    return ws.fresh;
   }
 };
 
 SampleSolution SampleSolver::solve(const mc::ArcSample& arc_sample,
                                    ConcentrateMode mode,
                                    const std::vector<double>* targets) const {
+  thread_local SolveWorkspace tls_ws;
+  mc::quantize_arc_constants(*graph_, arc_sample, clock_period_, step_ps_,
+                             tls_ws.constants);
+  return solve(mc::view_of(tls_ws.constants), mode, targets, tls_ws);
+}
+
+SampleSolution SampleSolver::solve(const mc::ArcConstantsView& constants,
+                                   ConcentrateMode mode,
+                                   const std::vector<double>* targets,
+                                   SolveWorkspace& ws) const {
   CLKTUNE_EXPECTS(mode != ConcentrateMode::toward_target ||
                   targets != nullptr);
   const ssta::SeqGraph& g = *graph_;
+  CLKTUNE_EXPECTS(constants.num_arcs == g.arcs.size());
   SampleSolution out;
 
-  thread_local std::vector<std::int64_t> setup_steps, hold_steps;
-  arc_constants(arc_sample, setup_steps, hold_steps);
-
-  WorkingModel wm(*this, setup_steps, hold_steps);
+  WorkingModel wm(*this, constants, ws);
 
   // Seed the working model with all violated arcs.
   bool any = false;
   for (std::size_t e = 0; e < g.arcs.size(); ++e) {
-    if (setup_steps[e] >= 0 && hold_steps[e] >= 0) continue;
+    if (constants.setup_steps[e] >= 0 && constants.hold_steps[e] >= 0)
+      continue;
     const ssta::SeqArc& arc = g.arcs[e];
     const bool tunable =
         arc.src_ff != arc.dst_ff &&
@@ -510,7 +526,7 @@ SampleSolution SampleSolver::solve(const mc::ArcSample& arc_sample,
       return out;
     }
     wm.add_arc(static_cast<int>(e));
-    wm.violated[e] = 1;
+    wm.mark_violated(static_cast<int>(e));
     any = true;
   }
   if (!any) return out;  // chip meets timing untouched: n_k = 0
@@ -551,20 +567,19 @@ SampleSolution SampleSolver::solve(const mc::ArcSample& arc_sample,
   // concentration), then verify the assembled assignment globally; newly
   // violated arcs join the model and the loop repeats.  Component
   // independence makes the sum of component optima the global optimum.
-  std::vector<std::pair<int, int>> mincount_acc;
   for (int round = 0;; ++round) {
     CLKTUNE_ASSERT(round <= static_cast<int>(g.arcs.size()));
     out.lazy_rounds = round + 1;
-    mincount_acc.clear();
-    std::fill(wm.k_of_var.begin(), wm.k_of_var.end(), 0);
+    ws.mincount_acc.clear();
+    std::fill(ws.k_of_var.begin(), ws.k_of_var.end(), 0);
     int nk_total = 0;
 
-    const std::vector<Component> comps = wm.components();
-    std::vector<int> local_of_var(wm.ff_of_var.size(), -1);
-    for (const Component& comp : comps) {
+    const std::size_t ncomps = wm.components();
+    ws.local_of_var.assign(ws.ff_of_var.size(), -1);
+    for (std::size_t ci = 0; ci < ncomps; ++ci) {
+      const Component& comp = ws.comps[ci];
       bool has_violated = false;
-      for (int e : comp.arcs)
-        has_violated |= wm.violated[static_cast<std::size_t>(e)] != 0;
+      for (int e : comp.arcs) has_violated |= wm.violated(e);
       if (!has_violated) continue;  // pure side constraints: x = 0 works
 
       // -- single-buffer closed form ------------------------------------
@@ -575,15 +590,15 @@ SampleSolution SampleSolver::solve(const mc::ArcSample& arc_sample,
         // scatter with the endpoint farthest from zero.
         const std::int64_t scatter = std::llabs(lo) >= std::llabs(hi) ? lo : hi;
         std::int64_t k = scatter;
-        const int ff = wm.ff_of_var[static_cast<std::size_t>(v)];
+        const int ff = ws.ff_of_var[static_cast<std::size_t>(v)];
         if (mode == ConcentrateMode::toward_zero) {
           k = std::clamp<std::int64_t>(0, lo, hi);
         } else if (mode == ConcentrateMode::toward_target) {
           k = std::clamp<std::int64_t>(
               std::llround((*targets)[static_cast<std::size_t>(ff)]), lo, hi);
         }
-        wm.k_of_var[static_cast<std::size_t>(v)] = k;
-        mincount_acc.emplace_back(ff, static_cast<int>(scatter));
+        ws.k_of_var[static_cast<std::size_t>(v)] = k;
+        ws.mincount_acc.emplace_back(ff, static_cast<int>(scatter));
         nk_total += 1;
         continue;
       }
@@ -591,29 +606,28 @@ SampleSolution SampleSolver::solve(const mc::ArcSample& arc_sample,
       // -- greedy + vertex-cover bound ----------------------------------
       // The single-buffer form failed, so this component needs >= 2.
       const int lb = std::max(2, wm.cover_lower_bound(comp));
-      const auto greedy = wm.greedy_tunings(comp);
+      const bool has_greedy = wm.greedy_tunings(comp);
       int greedy_support = 0;
-      if (greedy.has_value())
-        for (std::int64_t x : *greedy) greedy_support += x != 0 ? 1 : 0;
+      if (has_greedy)
+        for (std::int64_t x : ws.greedy_x) greedy_support += x != 0 ? 1 : 0;
 
-      std::vector<std::int64_t> count_solution;
       int nk_comp = 0;
-      if (greedy.has_value() && greedy_support <= lb) {
-        count_solution = *greedy;
+      if (has_greedy && greedy_support <= lb) {
+        ws.count_solution.assign(ws.greedy_x.begin(), ws.greedy_x.end());
         nk_comp = greedy_support;
       } else {
-        BuiltModel bm =
-            wm.build(comp, ConcentrateMode::none, nullptr, -1, local_of_var);
+        BuiltModel bm = wm.build(comp, ConcentrateMode::none, nullptr, -1,
+                                 ws.local_of_var);
         std::optional<milp::Incumbent> warm;
-        if (greedy.has_value()) {
+        if (has_greedy) {
           milp::Incumbent inc;
           inc.x.assign(static_cast<std::size_t>(bm.model.num_variables()),
                        0.0);
           for (std::size_t l = 0; l < comp.vars.size(); ++l) {
             inc.x[static_cast<std::size_t>(bm.k_var[l])] =
-                static_cast<double>((*greedy)[l]);
+                static_cast<double>(ws.greedy_x[l]);
             inc.x[static_cast<std::size_t>(bm.c_var[l])] =
-                (*greedy)[l] != 0 ? 1.0 : 0.0;
+                ws.greedy_x[l] != 0 ? 1.0 : 0.0;
           }
           inc.objective = bm.model.objective_value(inc.x);
           warm = std::move(inc);
@@ -630,33 +644,36 @@ SampleSolution SampleSolver::solve(const mc::ArcSample& arc_sample,
           return out;
         }
         out.truncated |= res.status == milp::Status::feasible;
-        count_solution.resize(comp.vars.size());
+        ws.count_solution.resize(comp.vars.size());
         for (std::size_t l = 0; l < comp.vars.size(); ++l)
-          count_solution[l] = std::llround(
+          ws.count_solution[l] = std::llround(
               res.x[static_cast<std::size_t>(bm.k_var[l])]);
         nk_comp = static_cast<int>(std::llround(res.objective));
       }
       nk_total += nk_comp;
       for (std::size_t l = 0; l < comp.vars.size(); ++l) {
-        const int ff = wm.ff_of_var[static_cast<std::size_t>(comp.vars[l])];
-        if (count_solution[l] != 0)
-          mincount_acc.emplace_back(ff, static_cast<int>(count_solution[l]));
+        const int ff = ws.ff_of_var[static_cast<std::size_t>(comp.vars[l])];
+        if (ws.count_solution[l] != 0)
+          ws.mincount_acc.emplace_back(ff,
+                                       static_cast<int>(ws.count_solution[l]));
       }
 
       // -- concentration (III-A3 / III-B2) ------------------------------
-      std::vector<std::int64_t> final_solution = count_solution;
+      ws.final_solution.assign(ws.count_solution.begin(),
+                               ws.count_solution.end());
       if (mode != ConcentrateMode::none) {
-        BuiltModel bm = wm.build(comp, mode, targets, nk_comp, local_of_var);
+        BuiltModel bm =
+            wm.build(comp, mode, targets, nk_comp, ws.local_of_var);
         milp::Incumbent inc;
         inc.x.assign(static_cast<std::size_t>(bm.model.num_variables()), 0.0);
         for (std::size_t l = 0; l < comp.vars.size(); ++l) {
           const int ff =
-              wm.ff_of_var[static_cast<std::size_t>(comp.vars[l])];
+              ws.ff_of_var[static_cast<std::size_t>(comp.vars[l])];
           const double t =
               mode == ConcentrateMode::toward_zero
                   ? 0.0
                   : std::round((*targets)[static_cast<std::size_t>(ff)]);
-          const auto kv = static_cast<double>(count_solution[l]);
+          const auto kv = static_cast<double>(ws.count_solution[l]);
           inc.x[static_cast<std::size_t>(bm.k_var[l])] = kv;
           inc.x[static_cast<std::size_t>(bm.c_var[l])] = kv != 0.0 ? 1.0 : 0.0;
           inc.x[static_cast<std::size_t>(bm.u_var[l])] = std::abs(kv - t);
@@ -667,26 +684,26 @@ SampleSolution SampleSolver::solve(const mc::ArcSample& arc_sample,
         CLKTUNE_ASSERT(res.status == milp::Status::optimal ||
                        res.status == milp::Status::feasible);
         for (std::size_t l = 0; l < comp.vars.size(); ++l)
-          final_solution[l] = std::llround(
+          ws.final_solution[l] = std::llround(
               res.x[static_cast<std::size_t>(bm.k_var[l])]);
       }
       for (std::size_t l = 0; l < comp.vars.size(); ++l)
-        wm.k_of_var[static_cast<std::size_t>(comp.vars[l])] =
-            final_solution[l];
+        ws.k_of_var[static_cast<std::size_t>(comp.vars[l])] =
+            ws.final_solution[l];
     }
 
     out.nk = nk_total;
-    const std::vector<int> fresh = wm.fresh_violations();
+    const std::vector<int>& fresh = wm.fresh_violations();
     if (fresh.empty()) break;
     for (int e : fresh) wm.add_arc(e);
   }
 
-  out.mincount_tunings = std::move(mincount_acc);
+  out.mincount_tunings.assign(ws.mincount_acc.begin(), ws.mincount_acc.end());
   out.tunings.clear();
-  for (std::size_t v = 0; v < wm.ff_of_var.size(); ++v)
-    if (wm.k_of_var[v] != 0)
-      out.tunings.emplace_back(wm.ff_of_var[v],
-                               static_cast<int>(wm.k_of_var[v]));
+  for (std::size_t v = 0; v < ws.ff_of_var.size(); ++v)
+    if (ws.k_of_var[v] != 0)
+      out.tunings.emplace_back(ws.ff_of_var[v],
+                               static_cast<int>(ws.k_of_var[v]));
   return out;
 }
 

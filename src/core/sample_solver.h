@@ -14,12 +14,23 @@
 //  * Greedy warm starts.  A difference-constraint feasibility oracle
 //    (Bellman-Ford) grows a buffer set greedily; the resulting incumbent
 //    lets branch & bound prune aggressively from the first node.
+//
+// The hot entry point consumes precomputed quantized constants
+// (mc::ArcConstantsView, usually from the engine's cross-pass cache) plus a
+// caller-owned SolveWorkspace.  The workspace holds every per-sample
+// scratch structure — working-model flags reset in O(active) via epoch
+// stamping, pooled component/greedy vectors, a reusable
+// difference-constraint system — so solving a sample that meets timing (or
+// is rescued without a MILP) performs zero heap allocations in steady
+// state, beyond the vectors owned by the returned solution.
 #pragma once
 
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "feas/diff_constraints.h"
+#include "mc/arc_constants.h"
 #include "mc/sampler.h"
 #include "milp/branch_and_bound.h"
 #include "ssta/seq_graph.h"
@@ -66,25 +77,85 @@ struct SampleSolution {
   bool truncated = false;  ///< a branch & bound hit its node limit
 };
 
+/// Reusable per-thread scratch for SampleSolver::solve.  All members are
+/// internal state: default-construct one per worker thread and pass it to
+/// every solve call.  Contents carry no information between calls (epoch
+/// stamping invalidates them wholesale), only capacity.
+struct SolveWorkspace {
+  struct Component {
+    std::vector<int> arcs;  ///< active arc ids
+    std::vector<int> vars;  ///< working-model var ids
+  };
+
+  std::uint64_t epoch = 0;
+  // Working model: per-arc membership/violation flags and per-FF variable
+  // slots, all valid only where the stamp equals `epoch`.
+  std::vector<std::uint64_t> in_model_epoch;  // per arc
+  std::vector<std::uint64_t> violated_epoch;  // per arc
+  std::vector<std::uint64_t> var_epoch;       // per FF
+  std::vector<int> var_of_ff;                 // per FF, guarded by var_epoch
+  std::vector<int> active;                    // arc ids in the working model
+  std::vector<int> ff_of_var;
+  std::vector<std::int64_t> k_of_var;  // current assignment (steps)
+
+  // Connected-component scratch (pooled: inner vectors keep capacity).
+  std::vector<Component> comps;
+  std::size_t comps_used = 0;
+  std::vector<int> parent;
+  std::vector<int> comp_of_root;
+  std::vector<int> sorted_active;
+
+  // Per-component scratch.
+  std::vector<char> covered;
+  std::vector<int> local_of_var;
+  std::vector<std::int64_t> count_solution;
+  std::vector<std::int64_t> final_solution;
+
+  // Greedy-oracle scratch.
+  feas::DiffConstraints oracle;
+  std::vector<char> greedy_chosen;
+  std::vector<int> greedy_dense;
+  std::vector<int> greedy_local_of_var;
+  std::vector<int> greedy_score;
+  std::vector<std::int64_t> greedy_x;
+
+  // Verification / accumulation scratch.
+  std::vector<int> fresh;
+  std::vector<std::pair<int, int>> mincount_acc;
+
+  // Constants scratch for the ArcSample convenience overload.
+  mc::ArcConstants constants;
+};
+
 class SampleSolver {
  public:
   SampleSolver(const ssta::SeqGraph& graph, double step_ps,
                double clock_period_ps, CandidateWindows windows,
                long milp_max_nodes = 50000);
 
-  /// Solves one sample.  `targets` (step units, indexed by ff) is required
-  /// for ConcentrateMode::toward_target.
+  /// Solves one sample from precomputed quantized constants — the hot path.
+  /// `targets` (step units, indexed by ff) is required for
+  /// ConcentrateMode::toward_target.
+  SampleSolution solve(const mc::ArcConstantsView& constants,
+                       ConcentrateMode mode,
+                       const std::vector<double>* targets,
+                       SolveWorkspace& ws) const;
+
+  /// Convenience overload: quantizes `arc_sample` first (thread-local
+  /// workspace).  Prefer the view overload in loops.
   SampleSolution solve(const mc::ArcSample& arc_sample, ConcentrateMode mode,
                        const std::vector<double>* targets = nullptr) const;
 
   /// Integer constraint constants for sample arcs (exposed for tests):
   /// setup:  x_i - x_j <= setup_steps[e];  hold:  x_j - x_i <= hold_steps[e].
+  /// Delegates to the shared mc::floor_steps quantizer.
   void arc_constants(const mc::ArcSample& arc_sample,
                      std::vector<std::int64_t>& setup_steps,
                      std::vector<std::int64_t>& hold_steps) const;
 
   const CandidateWindows& windows() const { return windows_; }
   double step_ps() const { return step_ps_; }
+  double clock_period_ps() const { return clock_period_; }
 
  private:
   struct WorkingModel;

@@ -1,47 +1,40 @@
 #include "feas/diff_constraints.h"
 
-#include <deque>
-
 #include "util/assert.h"
 
 namespace clktune::feas {
 
-void DiffConstraints::add(int u, int v, std::int64_t w) {
-  CLKTUNE_EXPECTS(u >= 0 && u < num_nodes());
-  CLKTUNE_EXPECTS(v >= 0 && v < num_nodes());
-  edges_.push_back(Edge{u, w, head_[static_cast<std::size_t>(v)]});
-  head_[static_cast<std::size_t>(v)] = static_cast<int>(edges_.size()) - 1;
+void DiffConstraints::reset(int num_nodes) {
+  CLKTUNE_EXPECTS(num_nodes >= 0);
+  num_nodes_ = num_nodes;
+  edges_.clear();
+  ++epoch_;
+  const auto n = static_cast<std::size_t>(num_nodes);
+  if (head_.size() < n) {
+    head_.resize(n);
+    head_epoch_.resize(n, 0);
+  }
 }
 
-std::optional<std::vector<std::int64_t>> DiffConstraints::solve() const {
-  const int n = num_nodes();
-  // SPFA from an implicit super-source: start all distances at 0.
-  std::vector<std::int64_t> dist(static_cast<std::size_t>(n), 0);
-  std::vector<int> relax_count(static_cast<std::size_t>(n), 0);
-  std::vector<char> queued(static_cast<std::size_t>(n), 1);
-  std::deque<int> queue;
-  for (int v = 0; v < n; ++v) queue.push_back(v);
-
-  while (!queue.empty()) {
-    const int v = queue.front();
-    queue.pop_front();
-    queued[static_cast<std::size_t>(v)] = 0;
-    for (int e = head_[static_cast<std::size_t>(v)]; e != -1;
-         e = edges_[static_cast<std::size_t>(e)].next) {
-      const Edge& edge = edges_[static_cast<std::size_t>(e)];
-      const std::int64_t cand = dist[static_cast<std::size_t>(v)] + edge.weight;
-      if (cand < dist[static_cast<std::size_t>(edge.to)]) {
-        dist[static_cast<std::size_t>(edge.to)] = cand;
-        if (++relax_count[static_cast<std::size_t>(edge.to)] > n)
-          return std::nullopt;  // negative cycle
-        if (!queued[static_cast<std::size_t>(edge.to)]) {
-          queued[static_cast<std::size_t>(edge.to)] = 1;
-          queue.push_back(edge.to);
-        }
-      }
-    }
+void DiffConstraints::add(int u, int v, std::int64_t w) {
+  CLKTUNE_EXPECTS(u >= 0 && u < num_nodes_);
+  CLKTUNE_EXPECTS(v >= 0 && v < num_nodes_);
+  const auto vs = static_cast<std::size_t>(v);
+  if (head_epoch_[vs] != epoch_) {
+    head_epoch_[vs] = epoch_;
+    head_[vs] = -1;
   }
-  return dist;
+  edges_.push_back(Edge{u, w, head_[vs]});
+  head_[vs] = static_cast<int>(edges_.size()) - 1;
+}
+
+const std::vector<std::int64_t>* DiffConstraints::solve_inplace() {
+  const bool feasible = spfa_potentials(
+      num_nodes_, scratch_, [&](int v) { return head(v); },
+      [&](int e) { return edges_[static_cast<std::size_t>(e)].next; },
+      [&](int e) { return edges_[static_cast<std::size_t>(e)].to; },
+      [&](int e) { return edges_[static_cast<std::size_t>(e)].weight; });
+  return feasible ? &scratch_.dist : nullptr;
 }
 
 }  // namespace clktune::feas

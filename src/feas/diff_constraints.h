@@ -1,5 +1,5 @@
-// Difference-constraint feasibility via Bellman-Ford negative-cycle
-// detection.
+// Difference-constraint feasibility via SPFA (queue-based Bellman-Ford)
+// negative-cycle detection.
 //
 // A system of constraints  x_u - x_v <= w  is feasible iff its constraint
 // graph (edge v -> u with weight w) has no negative cycle; shortest-path
@@ -7,6 +7,16 @@
 // constraint matrix is totally unimodular, so integer-feasible solutions
 // exist whenever real ones do — which is why flooring the timing constants
 // to the buffer-step grid preserves exactness for the discrete tunings.
+//
+// The object is a reusable workspace: reset() rewinds it in O(1) amortised
+// time via epoch stamping (per-node adjacency heads are lazily invalidated,
+// the edge pool keeps its capacity), and solve_inplace() reuses internal
+// SPFA scratch (distance/queue arrays, a ring-buffer queue), so the
+// steady-state Monte-Carlo inner loops that build one small system per
+// sample perform zero heap allocations.  Results are independent of
+// workspace history: a system solved from a dirty workspace yields exactly
+// the potentials a fresh object would (shortest-path distances are unique),
+// including after a negative-cycle bailout.
 //
 // Used for (a) yield evaluation of an inserted-buffer plan (does chip k have
 // a feasible configuration?), (b) greedy warm starts for the per-sample
@@ -17,24 +27,42 @@
 #include <optional>
 #include <vector>
 
+#include "feas/spfa.h"
+
 namespace clktune::feas {
 
 class DiffConstraints {
  public:
-  explicit DiffConstraints(int num_nodes) : head_(num_nodes, -1) {}
+  DiffConstraints() = default;
+  explicit DiffConstraints(int num_nodes) { reset(num_nodes); }
 
-  int num_nodes() const { return static_cast<int>(head_.size()); }
+  /// Rewinds to an empty system over `num_nodes` nodes.  Keeps all buffer
+  /// capacity; previously added edges become unreachable via epoch
+  /// stamping, so the cost is O(1) plus any one-time growth.
+  void reset(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
 
   /// Adds constraint x_u - x_v <= w.
   void add(int u, int v, std::int64_t w);
 
   /// True iff the system admits a solution.
-  bool feasible() const { return solve().has_value(); }
+  bool feasible() { return solve_inplace() != nullptr; }
 
-  /// Shortest-path potentials (a concrete solution), or nullopt when
-  /// infeasible.  All-zero start vector, so an all-zero solution is returned
-  /// when every constraint already holds at 0.
-  std::optional<std::vector<std::int64_t>> solve() const;
+  /// Shortest-path potentials (a concrete solution) held in internal
+  /// scratch, or nullptr when infeasible.  All-zero start vector, so an
+  /// all-zero solution is returned when every constraint already holds
+  /// at 0.  The pointee is valid until the next solve/reset/add.  Zero
+  /// allocations in steady state.
+  const std::vector<std::int64_t>* solve_inplace();
+
+  /// Copying convenience wrapper around solve_inplace().
+  std::optional<std::vector<std::int64_t>> solve() {
+    const std::vector<std::int64_t>* dist = solve_inplace();
+    if (dist == nullptr) return std::nullopt;
+    return *dist;
+  }
 
  private:
   struct Edge {
@@ -42,9 +70,21 @@ class DiffConstraints {
     std::int64_t weight = 0;
     int next = -1;
   };
-  // Adjacency: edge (v -> u, w) per constraint x_u - x_v <= w.
+
+  int head(int v) const {
+    return head_epoch_[static_cast<std::size_t>(v)] == epoch_
+               ? head_[static_cast<std::size_t>(v)]
+               : -1;
+  }
+
+  int num_nodes_ = 0;
+  std::uint64_t epoch_ = 0;
+  // Adjacency: edge (v -> u, w) per constraint x_u - x_v <= w.  head_[v] is
+  // meaningful only when head_epoch_[v] == epoch_.
   std::vector<int> head_;
-  std::vector<Edge> edges_;
+  std::vector<std::uint64_t> head_epoch_;
+  std::vector<Edge> edges_;  ///< pooled; cleared (capacity kept) on reset
+  SpfaScratch scratch_;      ///< reinitialised per solve
 };
 
 }  // namespace clktune::feas

@@ -1,0 +1,76 @@
+// Shared SPFA (queue-based Bellman-Ford) kernel over a caller-shaped
+// adjacency, with reusable scratch.  Both difference-constraint solvers —
+// the general pooled-edge DiffConstraints and the yield evaluator's
+// static-topology graph — run on this one implementation, so the subtle
+// parts (ring-buffer queue invariants, the relax_count > n negative-cycle
+// bound) are maintained in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clktune::feas {
+
+/// Reusable SPFA scratch.  resize() keeps capacity when shrinking and
+/// reuses it when growing back, so steady state is allocation-free; every
+/// run reinitialises it wholesale, which also makes a run after a
+/// negative-cycle bailout start from a clean slate.
+struct SpfaScratch {
+  std::vector<std::int64_t> dist;
+  std::vector<int> relax_count;
+  std::vector<char> queued;
+  std::vector<int> queue;  ///< ring buffer of capacity n
+};
+
+/// Shortest-path potentials from an implicit super-source: all distances
+/// start at 0, all nodes queued.  `head(v)` yields node v's first edge id
+/// or -1; `next(e)`, `to(e)`, `weight(e)` walk the adjacency.  Returns
+/// false on a negative cycle; true with exact shortest paths in ws.dist
+/// otherwise — unique, hence independent of edge order and scratch
+/// history.  The ring buffer never overflows: a node is enqueued only
+/// while not already queued, so occupancy is at most n.
+template <class HeadFn, class NextFn, class ToFn, class WeightFn>
+bool spfa_potentials(int n, SpfaScratch& ws, const HeadFn& head,
+                     const NextFn& next, const ToFn& to,
+                     const WeightFn& weight) {
+  const auto ns = static_cast<std::size_t>(n);
+  ws.dist.resize(ns);
+  ws.relax_count.resize(ns);
+  ws.queued.resize(ns);
+  ws.queue.resize(ns);
+  for (int v = 0; v < n; ++v) {
+    const auto vs = static_cast<std::size_t>(v);
+    ws.dist[vs] = 0;
+    ws.relax_count[vs] = 0;
+    ws.queued[vs] = 1;
+    ws.queue[vs] = v;
+  }
+  std::size_t qhead = 0;
+  std::size_t qcount = ns;
+  while (qcount > 0) {
+    const int v = ws.queue[qhead];
+    qhead = qhead + 1 == ns ? 0 : qhead + 1;
+    --qcount;
+    ws.queued[static_cast<std::size_t>(v)] = 0;
+    for (int e = head(v); e != -1; e = next(e)) {
+      const std::int64_t cand =
+          ws.dist[static_cast<std::size_t>(v)] + weight(e);
+      const int u = to(e);
+      const auto us = static_cast<std::size_t>(u);
+      if (cand < ws.dist[us]) {
+        ws.dist[us] = cand;
+        if (++ws.relax_count[us] > n) return false;  // negative cycle
+        if (!ws.queued[us]) {
+          ws.queued[us] = 1;
+          std::size_t tail = qhead + qcount;
+          if (tail >= ns) tail -= ns;
+          ws.queue[tail] = u;
+          ++qcount;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace clktune::feas

@@ -3,18 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
-#include "feas/diff_constraints.h"
+#include "mc/arc_constants.h"
 #include "util/assert.h"
 #include "util/thread_pool.h"
 
 namespace clktune::feas {
-namespace {
 
-std::int64_t floor_steps(double value_ps, double step_ps) {
-  return static_cast<std::int64_t>(std::floor(value_ps / step_ps + 1e-9));
+void YieldEvaluator::add_static_edge(int u, int v, std::int64_t w) {
+  // Constraint x_u - x_v <= w: edge v -> u with weight w.
+  edge_to_.push_back(u);
+  edge_next_.push_back(head_[static_cast<std::size_t>(v)]);
+  head_[static_cast<std::size_t>(v)] =
+      static_cast<int>(edge_to_.size()) - 1;
+  weights_template_.push_back(w);
 }
-
-}  // namespace
 
 YieldEvaluator::YieldEvaluator(const ssta::SeqGraph& graph, TuningPlan plan,
                                double clock_period_ps)
@@ -30,69 +32,141 @@ YieldEvaluator::YieldEvaluator(const ssta::SeqGraph& graph, TuningPlan plan,
   group_windows_.clear();
   for (int g = 0; g < plan_.num_groups; ++g)
     group_windows_.push_back(plan_.group_window(g));
-}
 
-std::optional<std::vector<std::int64_t>> YieldEvaluator::solve_sample(
-    const mc::Sampler& sampler, std::uint64_t k) const {
-  const ssta::SeqGraph& graph = *graph_;
-  thread_local mc::ArcSample arc_sample;
-  sampler.evaluate(k, arc_sample);
+  // Static topology: the reference node is plan_.num_groups.
+  const int ref = plan_.num_groups;
+  head_.assign(static_cast<std::size_t>(ref) + 1, -1);
 
-  const double step = plan_.step_ps;
-  const int ref = plan_.num_groups;  // reference node (x = 0)
-  DiffConstraints system(plan_.num_groups + 1);
-
-  // Window bounds vs the reference node.
+  // Window bounds vs the reference node (weights final).
   for (int g = 0; g < plan_.num_groups; ++g) {
-    system.add(g, ref, group_windows_[static_cast<std::size_t>(g)].k_hi);
-    system.add(ref, g, -group_windows_[static_cast<std::size_t>(g)].k_lo);
+    add_static_edge(g, ref, group_windows_[static_cast<std::size_t>(g)].k_hi);
+    add_static_edge(ref, g, -group_windows_[static_cast<std::size_t>(g)].k_lo);
   }
 
+  // Arc partition: tuning cancels on same-variable arcs (both unbuffered,
+  // or both in one group), leaving a per-sample sign test; the rest get
+  // two weight slots in the static graph.
   for (std::size_t e = 0; e < graph.arcs.size(); ++e) {
     const ssta::SeqArc& arc = graph.arcs[e];
-    const auto i = static_cast<std::size_t>(arc.src_ff);
-    const auto j = static_cast<std::size_t>(arc.dst_ff);
-    // Setup:  x_i - x_j <= T - s_j - dmax + q_j - q_i
-    const double setup_c = clock_period_ - graph.setup_ps[j] -
-                           arc_sample.dmax[e] + graph.skew_ps[j] -
-                           graph.skew_ps[i];
-    // Hold:   x_j - x_i <= dmin - h_j + q_i - q_j
-    const double hold_c = arc_sample.dmin[e] - graph.hold_ps[j] +
-                          graph.skew_ps[i] - graph.skew_ps[j];
-    const int vi = var_of_ff_[i];
-    const int vj = var_of_ff_[j];
+    const int vi = var_of_ff_[static_cast<std::size_t>(arc.src_ff)];
+    const int vj = var_of_ff_[static_cast<std::size_t>(arc.dst_ff)];
     const int ui = vi < 0 ? ref : vi;
     const int uj = vj < 0 ? ref : vj;
     if (ui == uj) {
-      // Same variable (or both unbuffered): tuning cancels.
-      if (setup_c < 0.0 || hold_c < 0.0) return std::nullopt;
+      check_arcs_.push_back(static_cast<int>(e));
       continue;
     }
-    system.add(ui, uj, floor_steps(setup_c, step));
-    system.add(uj, ui, floor_steps(hold_c, step));
+    EdgeArc ea;
+    ea.arc = static_cast<int>(e);
+    ea.setup_slot = static_cast<int>(weights_template_.size());
+    add_static_edge(ui, uj, 0);  // setup: x_ui - x_uj <= setup_steps
+    ea.hold_slot = static_cast<int>(weights_template_.size());
+    add_static_edge(uj, ui, 0);  // hold:  x_uj - x_ui <= hold_steps
+    edge_arcs_.push_back(ea);
+  }
+}
+
+namespace {
+
+/// Delay provider drawing arcs on demand — only the arcs actually visited
+/// before an early exit cost any sampling work.
+struct SampledDelays {
+  const mc::Sampler& sampler;
+  std::uint64_t k;
+  std::array<double, ssta::kParams> z;
+
+  SampledDelays(const mc::Sampler& s, std::uint64_t sample)
+      : sampler(s), k(sample), z(s.globals(sample)) {}
+
+  void delays(std::size_t e, double& late, double& early) const {
+    sampler.arc_delays(k, e, z, late, early);
+  }
+};
+
+/// Delay provider reading a precomputed cache slice.
+struct CachedDelays {
+  mc::ArcDelaysView view;
+
+  void delays(std::size_t e, double& late, double& early) const {
+    late = view.dmax[e];
+    early = view.dmin[e];
+  }
+};
+
+}  // namespace
+
+template <class Delays>
+bool YieldEvaluator::solve_sample_impl(const Delays& provider,
+                                       Workspace& ws) const {
+  const ssta::SeqGraph& graph = *graph_;
+
+  // ---- check-only arcs: sign tests with early exit ----------------------
+  for (const int e : check_arcs_) {
+    const auto es = static_cast<std::size_t>(e);
+    double late = 0.0, early = 0.0;
+    provider.delays(es, late, early);
+    double setup_c = 0.0, hold_c = 0.0;
+    mc::arc_slack(graph, es, late, early, clock_period_, setup_c, hold_c);
+    if (setup_c < 0.0 || hold_c < 0.0) return false;
+  }
+  if (edge_arcs_.empty() && plan_.num_groups == 0) {
+    // No variables at all: feasible, all-zero potentials.
+    ws.spfa.dist.assign(1, 0);
+    return true;
   }
 
-  auto potentials = system.solve();
-  if (!potentials.has_value()) return std::nullopt;
-  // Normalise so the reference node sits at zero.
-  const std::int64_t base = (*potentials)[static_cast<std::size_t>(ref)];
-  for (std::int64_t& p : *potentials) p -= base;
-  return potentials;
+  // ---- edge arcs: rewrite the per-sample weights ------------------------
+  const double step = plan_.step_ps;
+  ws.weights.assign(weights_template_.begin(), weights_template_.end());
+  for (const EdgeArc& ea : edge_arcs_) {
+    const auto es = static_cast<std::size_t>(ea.arc);
+    double late = 0.0, early = 0.0;
+    provider.delays(es, late, early);
+    double setup_c = 0.0, hold_c = 0.0;
+    mc::arc_slack(graph, es, late, early, clock_period_, setup_c, hold_c);
+    ws.weights[static_cast<std::size_t>(ea.setup_slot)] =
+        mc::floor_steps(setup_c, step);
+    ws.weights[static_cast<std::size_t>(ea.hold_slot)] =
+        mc::floor_steps(hold_c, step);
+  }
+
+  // ---- SPFA over the static topology ------------------------------------
+  return spfa_potentials(
+      plan_.num_groups + 1, ws.spfa,
+      [&](int v) { return head_[static_cast<std::size_t>(v)]; },
+      [&](int e) { return edge_next_[static_cast<std::size_t>(e)]; },
+      [&](int e) { return edge_to_[static_cast<std::size_t>(e)]; },
+      [&](int e) { return ws.weights[static_cast<std::size_t>(e)]; });
+}
+
+bool YieldEvaluator::solve_sample(const mc::Sampler& sampler, std::uint64_t k,
+                                  Workspace& ws) const {
+  return solve_sample_impl(SampledDelays(sampler, k), ws);
 }
 
 bool YieldEvaluator::sample_feasible(const mc::Sampler& sampler,
                                      std::uint64_t k) const {
-  return solve_sample(sampler, k).has_value();
+  thread_local Workspace ws;
+  return solve_sample(sampler, k, ws);
+}
+
+bool YieldEvaluator::sample_feasible(const mc::ArcDelaysView& delays) const {
+  thread_local Workspace ws;
+  return solve_sample_impl(CachedDelays{delays}, ws);
 }
 
 std::optional<std::vector<int>> YieldEvaluator::find_configuration(
     const mc::Sampler& sampler, std::uint64_t k) const {
-  auto potentials = solve_sample(sampler, k);
-  if (!potentials.has_value()) return std::nullopt;
+  thread_local Workspace ws;
+  if (!solve_sample(sampler, k, ws)) return std::nullopt;
+  // Normalise so the reference node sits at zero.
+  const auto ref = static_cast<std::size_t>(plan_.num_groups);
+  const std::vector<std::int64_t>& dist = ws.spfa.dist;
+  const std::int64_t base = dist.size() > ref ? dist[ref] : 0;
   std::vector<int> config(static_cast<std::size_t>(plan_.num_groups));
   for (int g = 0; g < plan_.num_groups; ++g)
     config[static_cast<std::size_t>(g)] =
-        static_cast<int>((*potentials)[static_cast<std::size_t>(g)]);
+        static_cast<int>(dist[static_cast<std::size_t>(g)] - base);
   return config;
 }
 
@@ -118,14 +192,57 @@ YieldResult YieldEvaluator::evaluate(const mc::Sampler& sampler,
   return result;
 }
 
-YieldResult original_yield(const ssta::SeqGraph& graph, double clock_period_ps,
-                           const mc::Sampler& sampler, std::uint64_t samples,
-                           int threads) {
+YieldResult YieldEvaluator::evaluate(mc::SampleDelayCache& delays,
+                                     std::uint64_t samples, int threads,
+                                     bool fill) const {
+  CLKTUNE_EXPECTS(samples <= delays.samples());
+  const std::size_t workers = util::resolve_thread_count(
+      threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  std::vector<std::uint64_t> passing(workers, 0);
+  util::parallel_chunks(
+      static_cast<std::size_t>(samples), workers,
+      [&](std::size_t w, std::size_t begin, std::size_t end) {
+        mc::ArcSample scratch;
+        for (std::size_t k = begin; k < end; ++k) {
+          const mc::ArcDelaysView view =
+              fill ? delays.fill(k, scratch) : delays.get(k, scratch);
+          passing[w] += sample_feasible(view) ? 1 : 0;
+        }
+      });
+  YieldResult result;
+  result.samples = samples;
+  for (std::uint64_t p : passing) result.passing += p;
+  result.yield = samples == 0
+                     ? 0.0
+                     : static_cast<double>(result.passing) /
+                           static_cast<double>(samples);
+  result.ci95 = util::yield_ci95(result.yield, samples);
+  return result;
+}
+
+namespace {
+
+TuningPlan empty_plan() {
   TuningPlan empty;
   empty.step_ps = 1.0;
   empty.reset_groups();
-  const YieldEvaluator eval(graph, std::move(empty), clock_period_ps);
+  return empty;
+}
+
+}  // namespace
+
+YieldResult original_yield(const ssta::SeqGraph& graph, double clock_period_ps,
+                           const mc::Sampler& sampler, std::uint64_t samples,
+                           int threads) {
+  const YieldEvaluator eval(graph, empty_plan(), clock_period_ps);
   return eval.evaluate(sampler, samples, threads);
+}
+
+YieldResult original_yield(const ssta::SeqGraph& graph, double clock_period_ps,
+                           mc::SampleDelayCache& delays,
+                           std::uint64_t samples, int threads, bool fill) {
+  const YieldEvaluator eval(graph, empty_plan(), clock_period_ps);
+  return eval.evaluate(delays, samples, threads, fill);
 }
 
 YieldReport evaluate_yield_report(const ssta::SeqGraph& graph,

@@ -5,15 +5,30 @@
 // With a fixed plan this is a pure feasibility question over difference
 // constraints (buffered flip-flops are variables, everything else is pinned
 // to zero, windows become bounds against a reference node), solved per
-// sample by Bellman-Ford on grid-floored constants.  Evaluation uses its own
-// seed so reported yields are out-of-sample relative to the insertion run.
+// sample on grid-floored constants.  The arc partition is computed once at
+// construction:
+//
+//   * check-only arcs — both endpoints unbuffered, so tuning cancels: per
+//     sample they reduce to a sign test on the raw constants, evaluated
+//     first with early exit (a failing chip is rejected before most of its
+//     arcs are even sampled);
+//   * edge arcs — incident to a tuned group: their constraint-graph
+//     topology is static, so the SPFA graph is built once and only the two
+//     weights per arc are rewritten per sample.
+//
+// This collapses the per-sample graph from |E| to the handful of
+// buffer-adjacent arcs, and the steady-state check performs zero heap
+// allocations (per-thread workspace).  Evaluation uses its own seed so
+// reported yields are out-of-sample relative to the insertion run.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "feas/spfa.h"
 #include "feas/tuning_plan.h"
+#include "mc/delay_cache.h"
 #include "mc/sampler.h"
 #include "ssta/seq_graph.h"
 #include "util/stats.h"
@@ -33,7 +48,11 @@ class YieldEvaluator {
                  double clock_period_ps);
 
   /// Does sample k (drawn via `sampler`) admit a feasible configuration?
+  /// Zero heap allocations in steady state (per-thread workspace).
   bool sample_feasible(const mc::Sampler& sampler, std::uint64_t k) const;
+
+  /// Same question over precomputed delays (a delay-cache slice).
+  bool sample_feasible(const mc::ArcDelaysView& delays) const;
 
   /// Buffer configuration (delay steps per physical group) for sample k, or
   /// nullopt when the chip cannot be rescued.  This is the post-silicon
@@ -45,12 +64,41 @@ class YieldEvaluator {
   YieldResult evaluate(const mc::Sampler& sampler, std::uint64_t samples,
                        int threads = 0) const;
 
+  /// Yield through a shared delay cache: with fill=true this evaluation
+  /// computes (and stores) every sample's delays; with fill=false it reuses
+  /// them, skipping the sampling work entirely when the cache is resident.
+  /// Results are bit-identical to the plain overload.
+  YieldResult evaluate(mc::SampleDelayCache& delays, std::uint64_t samples,
+                       int threads, bool fill) const;
+
   const TuningPlan& plan() const { return plan_; }
   double clock_period_ps() const { return clock_period_; }
+  /// Arc-partition sizes (check-only vs buffer-adjacent), for diagnostics.
+  std::size_t check_arc_count() const { return check_arcs_.size(); }
+  std::size_t edge_arc_count() const { return edge_arcs_.size(); }
 
  private:
-  std::optional<std::vector<std::int64_t>> solve_sample(
-      const mc::Sampler& sampler, std::uint64_t k) const;
+  /// Per-thread scratch; contents carry only capacity between calls.
+  struct Workspace {
+    std::vector<std::int64_t> weights;
+    SpfaScratch spfa;
+  };
+
+  /// A buffer-adjacent arc: its constraint edges live at fixed slots of the
+  /// static SPFA graph; only the weights change per sample.
+  struct EdgeArc {
+    int arc = 0;         ///< index into graph.arcs
+    int setup_slot = 0;  ///< weight slot of  x_ui - x_uj <= setup
+    int hold_slot = 0;   ///< weight slot of  x_uj - x_ui <= hold
+  };
+
+  /// Feasibility of sample k; on success ws.dist holds the potentials.
+  bool solve_sample(const mc::Sampler& sampler, std::uint64_t k,
+                    Workspace& ws) const;
+  template <class Delays>
+  bool solve_sample_impl(const Delays& delays, Workspace& ws) const;
+
+  void add_static_edge(int u, int v, std::int64_t w);
 
   const ssta::SeqGraph* graph_;
   TuningPlan plan_;
@@ -59,12 +107,30 @@ class YieldEvaluator {
   std::vector<int> var_of_ff_;
   /// Per-group window (union of members).
   std::vector<BufferWindow> group_windows_;
+
+  // Arc partition (III-style split, computed once).
+  std::vector<int> check_arcs_;
+  std::vector<EdgeArc> edge_arcs_;
+
+  // Static constraint-graph topology over num_groups + 1 nodes (the last is
+  // the pinned reference): CSR-ish adjacency with a parallel weight
+  // template.  Window-bound weights are final; edge-arc slots are
+  // placeholders rewritten into the workspace copy per sample.
+  std::vector<int> head_;
+  std::vector<int> edge_to_;
+  std::vector<int> edge_next_;
+  std::vector<std::int64_t> weights_template_;
 };
 
 /// Yield with no buffers at all (the paper's Yo).
 YieldResult original_yield(const ssta::SeqGraph& graph, double clock_period_ps,
                            const mc::Sampler& sampler, std::uint64_t samples,
                            int threads = 0);
+
+/// original_yield through a shared delay cache (see YieldEvaluator).
+YieldResult original_yield(const ssta::SeqGraph& graph, double clock_period_ps,
+                           mc::SampleDelayCache& delays,
+                           std::uint64_t samples, int threads, bool fill);
 
 /// Before/after yield measurement of a tuning plan at one clock period,
 /// evaluated out-of-sample (its own seed): the paper's Yo, Y and Yi columns

@@ -1,0 +1,144 @@
+// Quantized per-sample constraint constants — the kernel currency of the
+// Monte-Carlo hot path.
+//
+// Every per-sample problem (ILP seeding, difference-constraint feasibility,
+// yield checking) consumes the same two integers per sequential arc:
+//
+//   setup:  x_i - x_j <= setup_steps[e]
+//   hold:   x_j - x_i <= hold_steps[e]
+//
+// derived from the realised arc delays by flooring onto the buffer-step
+// grid.  This header centralises that derivation (one quantizer, one
+// epsilon) and provides a cross-pass cache so a sample's constants are
+// computed exactly once per insertion run instead of once per pass.
+//
+// Constants are stored structure-of-arrays as int32 (magnitudes are bounded
+// by clock period / step, a few thousand), halving the footprint of the
+// former int64 representation and keeping a 10k-sample cache line-friendly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "mc/sample_cache.h"
+#include "ssta/seq_graph.h"
+
+namespace clktune::mc {
+
+class Sampler;
+struct ArcSample;
+
+/// Grid quantizer shared by the sample solver and the yield evaluator:
+/// floor with a fixed 1e-9 epsilon so values an ulp below a grid line still
+/// land on it.  Saturates at the int32 range (unreachable for physical
+/// timing values; saturation preserves the constraint's sign).
+inline std::int32_t floor_steps(double value_ps, double step_ps) {
+  const double q = std::floor(value_ps / step_ps + 1e-9);
+  if (q >= 2147483647.0) return 2147483647;
+  if (q <= -2147483648.0) return -2147483648;
+  return static_cast<std::int32_t>(q);
+}
+
+/// Raw (unquantized) constraint constants of one arc given its realised
+/// delays — the single source of the setup/hold slack formula that every
+/// consumer (solver quantization, yield sign tests, fused kernel) either
+/// floors or sign-tests.  Term order is part of the contract: reordering
+/// changes double rounding and breaks bit-identical reuse.
+inline void arc_slack(const ssta::SeqGraph& g, std::size_t e, double late,
+                      double early, double clock_period_ps, double& setup_c,
+                      double& hold_c) {
+  const ssta::SeqArc& arc = g.arcs[e];
+  const auto i = static_cast<std::size_t>(arc.src_ff);
+  const auto j = static_cast<std::size_t>(arc.dst_ff);
+  // Setup:  x_i - x_j <= T - s_j - dmax + q_j - q_i
+  setup_c = clock_period_ps - g.setup_ps[j] - late + g.skew_ps[j] -
+            g.skew_ps[i];
+  // Hold:   x_j - x_i <= dmin - h_j + q_i - q_j
+  hold_c = early - g.hold_ps[j] + g.skew_ps[i] - g.skew_ps[j];
+}
+
+/// One sample's quantized constants, SoA over arcs.
+struct ArcConstants {
+  std::vector<std::int32_t> setup_steps;
+  std::vector<std::int32_t> hold_steps;
+
+  void resize(std::size_t num_arcs) {
+    setup_steps.resize(num_arcs);
+    hold_steps.resize(num_arcs);
+  }
+};
+
+/// Borrowed view of one sample's constants — either into the cross-pass
+/// cache or into a caller-owned scratch buffer.
+struct ArcConstantsView {
+  const std::int32_t* setup_steps = nullptr;
+  const std::int32_t* hold_steps = nullptr;
+  std::size_t num_arcs = 0;
+};
+
+inline ArcConstantsView view_of(const ArcConstants& c) {
+  return {c.setup_steps.data(), c.hold_steps.data(), c.setup_steps.size()};
+}
+
+/// Quantizes already-realised arc delays.  Arithmetic matches the historic
+/// solver/yield formulas term for term, so results are bit-identical to the
+/// previous per-call derivations.
+void quantize_arc_constants(const ssta::SeqGraph& graph,
+                            const ArcSample& sample, double clock_period_ps,
+                            double step_ps, ArcConstants& out);
+
+/// Kernel traits of the cross-pass constant cache (see SampleSliceCache
+/// for the fill/get protocol).  Out-of-line definitions keep Sampler an
+/// incomplete type here.
+struct ConstantCacheTraits {
+  using Elem = std::int32_t;
+  using View = ArcConstantsView;
+  using Scratch = ArcConstants;
+
+  const Sampler* sampler = nullptr;
+  double clock_period_ps = 0.0;
+  double step_ps = 0.0;
+
+  std::size_t num_arcs() const;
+  void compute(std::uint64_t k, std::int32_t* setup,
+               std::int32_t* hold) const;
+  ArcConstantsView compute_scratch(std::uint64_t k, ArcConstants& s) const;
+  ArcConstantsView view(const std::int32_t* setup, const std::int32_t* hold,
+                        std::size_t n) const {
+    return {setup, hold, n};
+  }
+};
+
+/// Cross-pass sample-constant cache.  The first pass calls fill(k) for every
+/// sample (computing with the fused sampler kernel and storing when the
+/// whole run fits in `max_bytes`); later passes call get(k), which is a
+/// pointer lookup when cached and a recomputation in streaming mode.
+class SampleConstantCache {
+ public:
+  /// max_bytes == 0 disables caching outright (always stream).
+  SampleConstantCache(const Sampler& sampler, double clock_period_ps,
+                      double step_ps, std::uint64_t samples,
+                      std::uint64_t max_bytes);
+
+  bool caching() const { return impl_.caching(); }
+  std::uint64_t samples() const { return impl_.samples(); }
+  std::uint64_t bytes() const { return impl_.bytes(); }
+  static std::uint64_t required_bytes(std::uint64_t samples,
+                                      std::size_t num_arcs) {
+    return SampleSliceCache<ConstantCacheTraits>::required_bytes(samples,
+                                                                 num_arcs);
+  }
+
+  ArcConstantsView fill(std::uint64_t k, ArcConstants& scratch) {
+    return impl_.fill(k, scratch);
+  }
+  ArcConstantsView get(std::uint64_t k, ArcConstants& scratch) const {
+    return impl_.get(k, scratch);
+  }
+
+ private:
+  SampleSliceCache<ConstantCacheTraits> impl_;
+};
+
+}  // namespace clktune::mc

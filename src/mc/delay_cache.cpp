@@ -1,0 +1,27 @@
+#include "mc/delay_cache.h"
+
+#include "mc/sampler.h"
+
+namespace clktune::mc {
+
+std::size_t DelayCacheTraits::num_arcs() const {
+  return sampler->graph().arcs.size();
+}
+
+void DelayCacheTraits::compute(std::uint64_t k, double* dmax,
+                               double* dmin) const {
+  sampler->evaluate_into(k, dmax, dmin);
+}
+
+ArcDelaysView DelayCacheTraits::compute_scratch(std::uint64_t k,
+                                                ArcSample& s) const {
+  sampler->evaluate(k, s);
+  return {s.dmax.data(), s.dmin.data(), num_arcs()};
+}
+
+SampleDelayCache::SampleDelayCache(const Sampler& sampler,
+                                   std::uint64_t samples,
+                                   std::uint64_t max_bytes)
+    : impl_(DelayCacheTraits{&sampler}, samples, max_bytes) {}
+
+}  // namespace clktune::mc

@@ -1,0 +1,89 @@
+// Shared protocol of the per-sample slice caches (quantized constants,
+// realised delays): two SoA arrays of Elem per sample under a byte budget,
+// with a streaming fallback for runs that would not fit and per-slot fill
+// tracking so a read of a never-filled slot fails loudly instead of
+// silently returning zeros.
+//
+// Traits supply the concrete kernel:
+//   using Elem / View / Scratch;
+//   std::size_t num_arcs() const;
+//   void compute(std::uint64_t k, Elem* a, Elem* b) const;   // into slices
+//   View compute_scratch(std::uint64_t k, Scratch& s) const; // streaming
+//   View view(const Elem* a, const Elem* b, std::size_t n) const;
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace clktune::mc {
+
+template <class Traits>
+class SampleSliceCache {
+ public:
+  using View = typename Traits::View;
+  using Scratch = typename Traits::Scratch;
+  using Elem = typename Traits::Elem;
+
+  /// max_bytes == 0 disables caching outright (always stream).
+  SampleSliceCache(Traits traits, std::uint64_t samples,
+                   std::uint64_t max_bytes)
+      : traits_(std::move(traits)),
+        samples_(samples),
+        num_arcs_(traits_.num_arcs()),
+        caching_(max_bytes > 0 &&
+                 required_bytes(samples, num_arcs_) <= max_bytes) {
+    if (caching_) {
+      a_.resize(samples_ * num_arcs_);
+      b_.resize(samples_ * num_arcs_);
+      filled_.assign(samples_, 0);
+    }
+  }
+
+  bool caching() const { return caching_; }
+  std::uint64_t samples() const { return samples_; }
+  /// Resident footprint of the slice arrays (0 in streaming mode).
+  std::uint64_t bytes() const {
+    return caching_ ? required_bytes(samples_, num_arcs_) : 0;
+  }
+  /// Footprint a run of this shape would need to cache fully.
+  static std::uint64_t required_bytes(std::uint64_t samples,
+                                      std::size_t num_arcs) {
+    return 2ull * sizeof(Elem) * samples * num_arcs;
+  }
+
+  /// Fill accessor: compute (and store, when caching) sample k.  May be
+  /// called concurrently for distinct k — each writes a disjoint slice.
+  View fill(std::uint64_t k, Scratch& scratch) {
+    if (!caching_) return traits_.compute_scratch(k, scratch);
+    CLKTUNE_EXPECTS(k < samples_);
+    Elem* a = a_.data() + k * num_arcs_;
+    Elem* b = b_.data() + k * num_arcs_;
+    traits_.compute(k, a, b);
+    filled_[static_cast<std::size_t>(k)] = 1;
+    return traits_.view(a, b, num_arcs_);
+  }
+
+  /// Read accessor: cached slice, or recompute into scratch.  In caching
+  /// mode asserts slot k was filled (the fill pass's thread join orders
+  /// the flag write before this read) — an unfilled slot holds zeros and
+  /// would silently corrupt everything downstream.
+  View get(std::uint64_t k, Scratch& scratch) const {
+    if (!caching_) return traits_.compute_scratch(k, scratch);
+    CLKTUNE_EXPECTS(k < samples_);
+    CLKTUNE_EXPECTS(filled_[static_cast<std::size_t>(k)] != 0);
+    return traits_.view(a_.data() + k * num_arcs_, b_.data() + k * num_arcs_,
+                        num_arcs_);
+  }
+
+ private:
+  Traits traits_;
+  std::uint64_t samples_;
+  std::size_t num_arcs_;
+  bool caching_;
+  std::vector<Elem> a_, b_;     ///< samples_ x num_arcs_ each, when caching
+  std::vector<char> filled_;    ///< per-sample fill flags, when caching
+};
+
+}  // namespace clktune::mc

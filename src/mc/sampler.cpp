@@ -1,24 +1,37 @@
 #include "mc/sampler.h"
 
-#include <algorithm>
-
 namespace clktune::mc {
 
 void Sampler::evaluate(std::uint64_t k, ArcSample& out) const {
+  out.dmax.resize(graph_->arcs.size());
+  out.dmin.resize(graph_->arcs.size());
+  evaluate_into(k, out.dmax.data(), out.dmin.data());
+}
+
+void Sampler::evaluate_into(std::uint64_t k, double* dmax,
+                            double* dmin) const {
   const auto& arcs = graph_->arcs;
-  out.dmax.resize(arcs.size());
-  out.dmin.resize(arcs.size());
   const std::array<double, ssta::kParams> z = globals(k);
   for (std::size_t e = 0; e < arcs.size(); ++e) {
     // One local draw per arc, shared by the late and early delay so their
     // order is preserved almost surely.
-    const double zloc = rng_.normal(k, 0x10000 + e);
-    double late = arcs[e].dmax.eval(z, zloc);
-    double early = arcs[e].dmin.eval(z, zloc);
-    late = std::max(late, 0.0);
-    early = std::clamp(early, 0.0, late);
-    out.dmax[e] = late;
-    out.dmin[e] = early;
+    arc_delays(k, e, z, dmax[e], dmin[e]);
+  }
+}
+
+void Sampler::evaluate_constants(std::uint64_t k, double clock_period_ps,
+                                 double step_ps, std::int32_t* setup,
+                                 std::int32_t* hold) const {
+  const ssta::SeqGraph& g = *graph_;
+  const auto& arcs = g.arcs;
+  const std::array<double, ssta::kParams> z = globals(k);
+  for (std::size_t e = 0; e < arcs.size(); ++e) {
+    double late = 0.0, early = 0.0;
+    arc_delays(k, e, z, late, early);
+    double setup_c = 0.0, hold_c = 0.0;
+    arc_slack(g, e, late, early, clock_period_ps, setup_c, hold_c);
+    setup[e] = floor_steps(setup_c, step_ps);
+    hold[e] = floor_steps(hold_c, step_ps);
   }
 }
 

@@ -1,0 +1,89 @@
+#include "util/alloc_counter.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+thread_local std::uint64_t tls_alloc_count = 0;
+
+// On exhaustion the allocating forms must run the new-handler loop
+// ([new.delete.single]) before giving up, like the operators they replace.
+void* counted_alloc(std::size_t size) {
+  ++tls_alloc_count;
+  if (size == 0) size = 1;
+  for (;;) {
+    void* p = std::malloc(size);
+    if (p != nullptr) return p;
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  ++tls_alloc_count;
+  if (size == 0) size = align;
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  for (;;) {
+    void* p = std::aligned_alloc(align, rounded);
+    if (p != nullptr) return p;
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+
+namespace clktune::util {
+
+std::uint64_t alloc_count() noexcept { return tls_alloc_count; }
+
+}  // namespace clktune::util
+
+// Replacement global allocation functions (C++ [new.delete]).  Defined here
+// so any binary referencing clktune::util::alloc_count() links them in.
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

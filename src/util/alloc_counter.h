@@ -1,0 +1,30 @@
+// Thread-local heap-allocation counter.
+//
+// Referencing any symbol from this header pulls in replacement global
+// operator new/delete that bump a thread-local counter (one relaxed TLS
+// increment per allocation; free of atomics and locks).  Binaries that
+// never reference it link the standard operators and are unaffected.
+//
+// This is the measurement hook behind the zero-allocation guarantees of the
+// sample kernel: tests and benches snapshot alloc_count() around a
+// steady-state region and assert (or report) the delta.
+#pragma once
+
+#include <cstdint>
+
+namespace clktune::util {
+
+/// Number of operator-new calls made by the calling thread since start.
+std::uint64_t alloc_count() noexcept;
+
+/// Delta helper: captures the calling thread's count at construction.
+class AllocCounterScope {
+ public:
+  AllocCounterScope() : start_(alloc_count()) {}
+  std::uint64_t delta() const noexcept { return alloc_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace clktune::util
