@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/baselines.h"
+#include "exec/local_executor.h"
+#include "exec/request.h"
 #include "feas/yield_eval.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
@@ -50,8 +52,9 @@ int main() try {
       static_cast<int>(util::env_long("CLKTUNE_THREADS", campaign.threads));
 
   const std::vector<scenario::ScenarioSpec> specs = campaign.expand();
+  exec::LocalExecutor executor;
   const scenario::CampaignSummary summary =
-      scenario::CampaignRunner(campaign).run();
+      executor.execute(exec::Request::for_campaign(campaign)).summary;
 
   std::printf("# %s: %zu scenarios from examples/scenarios/yield_study.json\n",
               campaign.name.c_str(), specs.size());

@@ -10,9 +10,10 @@
 // Two layers back the store: a bounded in-memory LRU for the hot set, and an
 // optional on-disk artifact directory (one `<key>.json` per result, written
 // atomically via rename) that persists across processes and can be shared by
-// concurrent clktune invocations.  `CampaignRunner` consults the cache per
-// expanded cell, which is what lets a repeated `clktune sweep` rerun zero
-// scenarios, and `clktune serve` never recomputes a document it has seen.
+// concurrent clktune invocations.  `exec::LocalExecutor` consults the cache
+// per expanded cell, which is what lets a repeated `clktune sweep` rerun
+// zero scenarios, and `clktune serve` never recomputes a document it has
+// seen.
 #pragma once
 
 #include <cstdint>

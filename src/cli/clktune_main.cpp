@@ -4,15 +4,24 @@
 //   clktune sweep <campaign.json>      expand + run a parameter sweep
 //   clktune report <result.json>       render a saved artifact as a table
 //   clktune report --diff <a> <b>      compare two artifacts cell by cell
+//   clktune report --merge <s...>      merge shard summaries into one
 //   clktune serve                      long-running scenario service (TCP)
 //   clktune submit <doc.json>          send a document to a running server
+//
+// Every command is a thin composition over the clktune::exec layer: build
+// an exec::Request from the document, pick an Executor (local for run and
+// sweep, remote for submit), attach an exec::Observer for progress lines,
+// and print the Outcome's artifact.  docs/exec_api.md describes the API.
 //
 // Common options:
 //   -o, --output <path>   write the JSON artifact here (default: stdout)
 //   -t, --threads <n>     worker threads (default: hardware concurrency)
 //       --cache-dir <dir> content-addressed result cache (run/sweep/serve);
 //                         repeated invocations skip already-solved cells
-//       --shard <i/n>     sweep only expansion indices with idx % n == i
+//       --shard <i/n>     sweep/submit: only expansion indices with
+//                         idx % n == i (submit: sliced daemon-side)
+//       --progress        run/sweep/submit: per-cell NDJSON progress
+//                         lines on stderr (replaces the human lines)
 //       --tolerance <y>   --diff: allowed tuned-yield drop (default 0.005)
 //       --host <h>        submit: server host (default 127.0.0.1)
 //   -p, --port <n>        serve/submit: TCP port (default 20160; serve: 0
@@ -23,7 +32,8 @@
 //       --quiet           suppress progress lines on stderr
 //
 // Exit codes: 0 success, 1 usage error, 2 bad input file / structural diff
-// mismatch, 3 a scenario missed its yield target or a diff cell regressed.
+// mismatch / merge rejection, 3 a scenario missed its yield target or a
+// diff cell regressed.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -34,10 +44,14 @@
 
 #include "cache/result_cache.h"
 #include "core/report.h"
+#include "exec/local_executor.h"
+#include "exec/merge.h"
+#include "exec/observer.h"
+#include "exec/remote_executor.h"
+#include "exec/request.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
 #include "scenario/summary_diff.h"
-#include "serve/client.h"
 #include "serve/server.h"
 #include "util/json.h"
 
@@ -60,6 +74,8 @@ struct Options {
   std::size_t shard_count = 1;
   double tolerance = 0.005;
   bool diff = false;
+  bool merge = false;
+  bool progress = false;
   bool timings = false;
   bool compact = false;
   bool quiet = false;
@@ -74,6 +90,7 @@ void print_usage(std::FILE* to) {
       "  sweep <campaign.json>   expand and execute a parameter sweep\n"
       "  report <result.json>    print a saved result artifact as a table\n"
       "  report --diff <a> <b>   compare two artifacts, flag regressions\n"
+      "  report --merge <s...>   merge disjoint shard summaries into one\n"
       "  serve                   run the scenario service (TCP, NDJSON)\n"
       "  submit <doc.json>       send a scenario/campaign to a server\n"
       "\n"
@@ -82,6 +99,7 @@ void print_usage(std::FILE* to) {
       "  -t, --threads <n>       worker threads (0 = hardware concurrency)\n"
       "      --cache-dir <dir>   enable the content-addressed result cache\n"
       "      --shard <i/n>       run expansion indices idx %% n == i only\n"
+      "      --progress          per-cell NDJSON progress lines on stderr\n"
       "      --tolerance <y>     allowed tuned-yield drop for --diff\n"
       "      --host <h>          server host for submit\n"
       "  -p, --port <n>          server port (default 20160)\n"
@@ -136,6 +154,10 @@ int parse_options(int argc, char** argv, Options& opt) {
       }
     } else if (arg == "--diff") {
       opt.diff = true;
+    } else if (arg == "--merge") {
+      opt.merge = true;
+    } else if (arg == "--progress") {
+      opt.progress = true;
     } else if (arg == "--timings") {
       opt.timings = true;
     } else if (arg == "--compact") {
@@ -170,7 +192,8 @@ void emit(const Options& opt, const Json& artifact) {
     std::fputc('\n', stdout);
   } else {
     clktune::util::write_json_file(opt.output, artifact, indent);
-    if (!opt.quiet)
+    // --progress keeps stderr a pure NDJSON stream.
+    if (!opt.quiet && !opt.progress)
       std::fprintf(stderr, "clktune: wrote %s\n", opt.output.c_str());
   }
 }
@@ -180,86 +203,150 @@ std::unique_ptr<clktune::cache::ResultCache> make_cache(const Options& opt) {
   return std::make_unique<clktune::cache::ResultCache>(opt.cache_dir);
 }
 
+/// Progress printer shared by run / sweep / submit: human lines by
+/// default, machine-readable NDJSON with --progress, nothing with --quiet.
+/// Cells finish on worker threads; each line is a single stdio call, so
+/// lines never interleave.
+class CliObserver : public clktune::exec::Observer {
+ public:
+  explicit CliObserver(const Options& opt) : opt_(opt) {}
+
+  void on_begin(std::size_t total_cells, std::size_t) override {
+    total_ = total_cells;
+  }
+
+  void on_cell(const clktune::exec::CellEvent& event) override {
+    if (opt_.quiet) return;
+    if (opt_.progress) {
+      Json line = Json::object();
+      line.set("event", "cell");
+      line.set("index", static_cast<std::uint64_t>(event.index));
+      line.set("name", event.result.name);
+      line.set("cached", event.cached);
+      line.set("seconds", event.seconds);
+      const std::string text = line.dump(-1) + "\n";
+      std::fputs(text.c_str(), stderr);
+      return;
+    }
+    std::fprintf(stderr, "clktune: [%zu/%zu] %s  yield %.2f%% -> %.2f%%%s\n",
+                 event.index + 1, total_, event.result.name.c_str(),
+                 100.0 * event.result.yield.original.yield,
+                 100.0 * event.result.yield.tuned.yield,
+                 event.cached ? "  (cached)" : "");
+  }
+
+ private:
+  const Options& opt_;
+  std::size_t total_ = 1;
+};
+
 int cmd_run(const Options& opt) {
   const Json doc = clktune::util::read_json_file(opt.inputs[0]);
-  const auto spec = clktune::scenario::ScenarioSpec::from_json(doc);
+  clktune::exec::Request request = clktune::exec::Request::for_scenario(
+      clktune::scenario::ScenarioSpec::from_json(doc));
+  request.threads = opt.threads;
   const std::unique_ptr<clktune::cache::ResultCache> cache = make_cache(opt);
-  if (cache != nullptr) {
-    const std::string key = clktune::cache::scenario_cache_key(spec);
-    if (const auto artifact = cache->get(key)) {
-      if (!opt.quiet)
-        std::fprintf(stderr, "clktune: %s served from cache (%s)\n",
-                     spec.name.c_str(), key.substr(0, 12).c_str());
-      if (opt.timings && !opt.quiet)
-        std::fprintf(stderr,
-                     "clktune: cached artifacts carry no timing fields\n");
-      emit(opt, *artifact);
-      return artifact->at("met_target").as_bool() ? 0 : 3;
-    }
+  request.cache = cache.get();
+
+  // With a cache configured the scenario may be served without running;
+  // announce the run upfront only when it is certain to compute.  With
+  // --progress, stderr is the observer's NDJSON stream instead.
+  if (!opt.quiet && !opt.progress && request.cache == nullptr)
+    std::fprintf(stderr, "clktune: running scenario %s\n",
+                 request.scenario.name.c_str());
+  CliObserver observer(opt);
+  clktune::exec::LocalExecutor executor;
+  const clktune::exec::Outcome outcome =
+      executor.execute(request, opt.progress ? &observer : nullptr);
+
+  // A cache-served artifact carries no timing fields and stays the exact
+  // bytes that were stored; recomputed results honour --timings.
+  if (outcome.fully_cached() && !opt.quiet && !opt.progress) {
+    std::fprintf(stderr, "clktune: %s served from cache\n",
+                 outcome.result.name.c_str());
+    if (opt.timings)
+      std::fprintf(stderr,
+                   "clktune: cached artifacts carry no timing fields\n");
   }
-  if (!opt.quiet)
-    std::fprintf(stderr, "clktune: running scenario %s\n", spec.name.c_str());
-  const clktune::scenario::ScenarioResult result =
-      clktune::scenario::run_scenario(spec, opt.threads);
-  if (cache != nullptr)
-    cache->put(clktune::cache::scenario_cache_key(spec), result.to_json());
-  emit(opt, result.to_json(opt.timings));
-  if (!opt.quiet)
+  emit(opt, outcome.artifact(opt.timings && !outcome.fully_cached()));
+  if (!outcome.fully_cached() && !opt.quiet && !opt.progress)
     std::fprintf(stderr,
                  "clktune: %s  T=%.1f ps  Nb=%d  yield %.2f%% -> %.2f%%"
                  "  (%.1f s)\n",
-                 result.name.c_str(), result.clock_period_ps,
-                 result.insertion.plan.physical_buffers(),
-                 100.0 * result.yield.original.yield,
-                 100.0 * result.yield.tuned.yield, result.seconds);
-  return result.met_target ? 0 : 3;
+                 outcome.result.name.c_str(), outcome.result.clock_period_ps,
+                 outcome.result.insertion.plan.physical_buffers(),
+                 100.0 * outcome.result.yield.original.yield,
+                 100.0 * outcome.result.yield.tuned.yield,
+                 outcome.result.seconds);
+  return outcome.ok() ? 0 : 3;
 }
 
 int cmd_sweep(const Options& opt) {
   const Json doc = clktune::util::read_json_file(opt.inputs[0]);
-  auto spec = clktune::scenario::CampaignSpec::from_json(doc);
-  if (opt.threads > 0) spec.threads = opt.threads;
-  const clktune::scenario::CampaignRunner runner(std::move(spec));
-  const std::size_t total = runner.spec().expansion_size();
-  const std::size_t mine =
-      total / opt.shard_count + (opt.shard_index < total % opt.shard_count);
-  if (!opt.quiet) {
+  clktune::exec::Request request = clktune::exec::Request::for_campaign(
+      clktune::scenario::CampaignSpec::from_json(doc));
+  request.threads = opt.threads;
+  request.shard_index = opt.shard_index;
+  request.shard_count = opt.shard_count;
+  const std::unique_ptr<clktune::cache::ResultCache> cache = make_cache(opt);
+  request.cache = cache.get();
+
+  // With --progress stderr is a pure NDJSON stream; the human header and
+  // trailer lines would pollute it.
+  if (!opt.quiet && !opt.progress) {
     if (opt.shard_count > 1)
       std::fprintf(stderr,
                    "clktune: campaign %s, shard %zu/%zu: %zu of %zu"
                    " scenarios\n",
-                   runner.spec().name.c_str(), opt.shard_index,
-                   opt.shard_count, mine, total);
+                   request.campaign.name.c_str(), opt.shard_index,
+                   opt.shard_count, request.shard_cells(),
+                   request.expansion_size());
     else
       std::fprintf(stderr, "clktune: campaign %s, %zu scenarios\n",
-                   runner.spec().name.c_str(), total);
+                   request.campaign.name.c_str(), request.expansion_size());
   }
 
-  const std::unique_ptr<clktune::cache::ResultCache> cache = make_cache(opt);
-  clktune::scenario::CampaignRunOptions run_options;
-  run_options.cache = cache.get();
-  run_options.shard_index = opt.shard_index;
-  run_options.shard_count = opt.shard_count;
-  run_options.on_done = [&](std::size_t index,
-                            const clktune::scenario::ScenarioResult& r,
-                            bool cached) {
-    if (!opt.quiet)
-      std::fprintf(stderr, "clktune: [%zu/%zu] %s  yield %.2f%% -> %.2f%%%s\n",
-                   index + 1, total, r.name.c_str(),
-                   100.0 * r.yield.original.yield,
-                   100.0 * r.yield.tuned.yield, cached ? "  (cached)" : "");
-  };
-  const clktune::scenario::CampaignSummary summary = runner.run(run_options);
-  emit(opt, summary.to_json(opt.timings));
-  if (!opt.quiet)
+  CliObserver observer(opt);
+  clktune::exec::LocalExecutor executor;
+  const clktune::exec::Outcome outcome = executor.execute(request, &observer);
+  emit(opt, outcome.artifact(opt.timings));
+  if (!opt.quiet && !opt.progress)
     std::fprintf(stderr,
                  "clktune: %llu scenarios (%llu from cache), %llu missed"
                  " target  (%.1f s)\n",
-                 static_cast<unsigned long long>(summary.scenarios_run),
-                 static_cast<unsigned long long>(summary.scenarios_cached),
-                 static_cast<unsigned long long>(summary.targets_missed),
-                 summary.total_seconds);
-  return summary.targets_missed == 0 ? 0 : 3;
+                 static_cast<unsigned long long>(outcome.scenarios_run),
+                 static_cast<unsigned long long>(outcome.scenarios_cached),
+                 static_cast<unsigned long long>(outcome.targets_missed),
+                 outcome.seconds);
+  return outcome.ok() ? 0 : 3;
+}
+
+int cmd_submit(const Options& opt) {
+  const Json doc = clktune::util::read_json_file(opt.inputs[0]);
+  clktune::exec::Request request = clktune::exec::Request::from_json(doc);
+  // The daemon honours the slice server-side, so N submit --shard i/N
+  // invocations against N daemons fan one campaign out across hosts.
+  request.shard_index = opt.shard_index;
+  request.shard_count = opt.shard_count;
+  const std::uint16_t port =
+      opt.port < 0 ? kDefaultPort : static_cast<std::uint16_t>(opt.port);
+  clktune::exec::RemoteExecutor executor(opt.host, port);
+  CliObserver observer(opt);
+  const clktune::exec::Outcome outcome = executor.execute(request, &observer);
+
+  // A scenario document prints exactly the artifact `clktune run` would; a
+  // campaign document prints the artifact array in expansion order (even
+  // when the sweep expands to a single cell).
+  if (request.kind == clktune::exec::Request::Kind::campaign) {
+    Json array = Json::array();
+    for (const clktune::scenario::ScenarioResult& result :
+         outcome.summary.results)
+      array.push_back(result.to_json());
+    emit(opt, array);
+  } else {
+    emit(opt, outcome.result.to_json());
+  }
+  return outcome.ok() ? 0 : 3;
 }
 
 /// Rebuilds a TableRow from a serialised scenario-result object.
@@ -309,11 +396,39 @@ int cmd_report_diff(const Options& opt) {
   return diff.regressions == 0 ? 0 : 3;
 }
 
+int cmd_report_merge(const Options& opt) {
+  if (opt.inputs.size() < 2) {
+    std::fprintf(stderr,
+                 "clktune: report --merge expects at least 2 shard"
+                 " summaries\n");
+    print_usage(stderr);
+    return 1;
+  }
+  std::vector<clktune::scenario::CampaignSummary> shards;
+  shards.reserve(opt.inputs.size());
+  for (const std::string& path : opt.inputs)
+    shards.push_back(clktune::scenario::CampaignSummary::from_json(
+        clktune::util::read_json_file(path)));
+  const clktune::scenario::CampaignSummary merged =
+      clktune::exec::merge_shard_summaries(shards);
+  emit(opt, merged.to_json(opt.timings));
+  if (!opt.quiet)
+    std::fprintf(stderr,
+                 "clktune: merged %zu shards into %llu cells, %llu missed"
+                 " target\n",
+                 opt.inputs.size(),
+                 static_cast<unsigned long long>(merged.scenarios_run),
+                 static_cast<unsigned long long>(merged.targets_missed));
+  // Same yield gate as the unsharded sweep this summary stands in for.
+  return merged.targets_missed == 0 ? 0 : 3;
+}
+
 int cmd_report(const Options& opt) {
   if (opt.diff) {
     if (!expect_inputs(opt, 2)) return 1;
     return cmd_report_diff(opt);
   }
+  if (opt.merge) return cmd_report_merge(opt);
   if (!expect_inputs(opt, 1)) return 1;
   const Json doc = clktune::util::read_json_file(opt.inputs[0]);
   std::vector<clktune::core::TableRow> rows;
@@ -351,47 +466,6 @@ int cmd_serve(const Options& opt) {
   server.serve_forever();
   if (!opt.quiet) std::fprintf(stderr, "clktune: server stopped\n");
   return 0;
-}
-
-int cmd_submit(const Options& opt) {
-  const Json doc = clktune::util::read_json_file(opt.inputs[0]);
-  const std::uint16_t port =
-      opt.port < 0 ? kDefaultPort : static_cast<std::uint16_t>(opt.port);
-  const clktune::serve::SubmitOutcome outcome =
-      clktune::serve::submit_document(
-          opt.host, port, doc, [&](const Json& event) {
-            if (opt.quiet) return;
-            if (event.at("event").as_string() != "result") return;
-            const Json& r = event.at("result");
-            std::fprintf(stderr, "clktune: [%llu] %s  yield %.2f%%%s\n",
-                         static_cast<unsigned long long>(
-                             event.at("index").as_uint()),
-                         r.at("name").as_string().c_str(),
-                         100.0 *
-                             r.at("yield").at("tuned").at("yield").as_double(),
-                         event.at("cached").as_bool() ? "  (cached)" : "");
-          });
-  if (!outcome.ok()) {
-    const Json* message = outcome.final_event.find("message");
-    std::fprintf(stderr, "clktune: submit failed: %s\n",
-                 message != nullptr ? message->as_string().c_str()
-                                    : "connection closed");
-    return 2;
-  }
-  // A scenario document prints exactly the artifact `clktune run` would; a
-  // campaign document prints the artifact array in expansion order (even
-  // when the sweep expands to a single cell).
-  if (doc.contains("base")) {
-    Json array = Json::array();
-    for (const Json& artifact : outcome.results) array.push_back(artifact);
-    emit(opt, array);
-  } else if (!outcome.results.empty()) {
-    emit(opt, outcome.results[0]);
-  } else {
-    std::fprintf(stderr, "clktune: server sent no result\n");
-    return 2;
-  }
-  return outcome.targets_missed() == 0 ? 0 : 3;
 }
 
 }  // namespace

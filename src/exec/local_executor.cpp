@@ -1,0 +1,142 @@
+#include "exec/local_executor.h"
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/result_cache.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace clktune::exec {
+
+using util::Json;
+
+namespace {
+
+/// Fetches one cell: cache lookup by content key, else a fresh engine run
+/// whose result is stored back.  `threads` caps the cell's inner loops.
+scenario::ScenarioResult run_cell(const scenario::ScenarioSpec& spec,
+                                  cache::ResultCache* cache, int threads,
+                                  bool& cached) {
+  if (cache != nullptr) {
+    const std::string key = cache::scenario_cache_key(spec);
+    if (std::optional<Json> artifact = cache->get(key)) {
+      cached = true;
+      return scenario::ScenarioResult::from_json(*artifact);
+    }
+    scenario::ScenarioResult result = scenario::run_scenario(spec, threads);
+    cache->put(key, result.to_json());
+    cached = false;
+    return result;
+  }
+  cached = false;
+  return scenario::run_scenario(spec, threads);
+}
+
+void notify(Observer* observer, std::size_t index,
+            const scenario::ScenarioResult& result, bool cached) {
+  if (observer == nullptr) return;
+  CellEvent event{index, result, cached, cached ? 0.0 : result.seconds};
+  observer->on_cell(event);
+}
+
+Outcome execute_scenario(const Request& request, Observer* observer) {
+  const util::Stopwatch timer;
+  if (observer != nullptr) {
+    observer->on_begin(1, 1);
+    if (observer->cancelled())
+      throw CancelledError("exec: cancelled before the scenario started");
+  }
+  Outcome outcome;
+  outcome.kind = Request::Kind::scenario;
+  bool cached = false;
+  outcome.result =
+      run_cell(request.scenario, request.cache, request.threads, cached);
+  notify(observer, 0, outcome.result, cached);
+  outcome.scenarios_run = 1;
+  outcome.scenarios_cached = cached ? 1 : 0;
+  outcome.targets_missed = outcome.result.met_target ? 0 : 1;
+  outcome.seconds = timer.seconds();
+  return outcome;
+}
+
+Outcome execute_campaign(const Request& request, Observer* observer) {
+  const util::Stopwatch timer;
+  const std::vector<scenario::ScenarioSpec> all = request.campaign.expand();
+
+  // The expansion index is the unit of determinism, so a round-robin slice
+  // of it partitions a campaign across processes/hosts without
+  // coordination.
+  std::vector<std::size_t> selected;
+  selected.reserve(all.size() / request.shard_count + 1);
+  for (std::size_t i = request.shard_index; i < all.size();
+       i += request.shard_count)
+    selected.push_back(i);
+
+  if (observer != nullptr) observer->on_begin(all.size(), selected.size());
+
+  scenario::CampaignSummary summary;
+  summary.name = request.campaign.name;
+  summary.shard_index = request.shard_index;
+  summary.shard_count = request.shard_count;
+  summary.results.resize(selected.size());
+  std::vector<char> cached(selected.size(), 0);
+
+  // One worker thread per concurrent cell; each cell runs its inner loops
+  // single-threaded so the batch scales with cell count.  Every worker
+  // writes only its own result slots, and slots are ordered by expansion
+  // index, so the summary is independent of scheduling.  Cache hits
+  // substitute a stored artifact for the computation — ScenarioResult JSON
+  // round trips are byte-exact, so the summary bytes cannot tell.
+  const int requested =
+      request.threads > 0 ? request.threads : request.campaign.threads;
+  const std::size_t workers = util::resolve_thread_count(
+      requested <= 0 ? 0 : static_cast<std::size_t>(requested));
+  std::atomic<bool> cancel{false};
+  util::parallel_chunks(
+      selected.size(), workers,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (cancel.load(std::memory_order_relaxed)) return;
+          if (observer != nullptr && observer->cancelled()) {
+            cancel.store(true, std::memory_order_relaxed);
+            return;
+          }
+          bool from_cache = false;
+          summary.results[i] = run_cell(all[selected[i]], request.cache,
+                                        /*threads=*/1, from_cache);
+          cached[i] = from_cache ? 1 : 0;
+          notify(observer, selected[i], summary.results[i], from_cache);
+        }
+      });
+  if (cancel.load())
+    throw CancelledError("exec: campaign cancelled by the observer");
+
+  summary.recount();
+  for (const char flag : cached) summary.scenarios_cached += flag;
+  summary.total_seconds = timer.seconds();
+
+  Outcome outcome;
+  outcome.kind = Request::Kind::campaign;
+  outcome.scenarios_run = summary.scenarios_run;
+  outcome.scenarios_cached = summary.scenarios_cached;
+  outcome.targets_missed = summary.targets_missed;
+  outcome.seconds = summary.total_seconds;
+  outcome.summary = std::move(summary);
+  return outcome;
+}
+
+}  // namespace
+
+Outcome LocalExecutor::execute(const Request& request, Observer* observer) {
+  request.validate();
+  Outcome outcome = request.kind == Request::Kind::scenario
+                        ? execute_scenario(request, observer)
+                        : execute_campaign(request, observer);
+  outcome.backend = name();
+  return outcome;
+}
+
+}  // namespace clktune::exec

@@ -1,0 +1,40 @@
+// Remote backend: a `clktune serve` daemon behind the Executor interface.
+//
+// The request's resolved document travels over the NDJSON serve protocol
+// (`{"cmd":"run"|"sweep","doc":{...}[,"shard":{...}]}`); streamed "result"
+// events become Observer cells, and the reassembled artifacts — which
+// round-trip byte-exactly — rebuild the same ScenarioResult /
+// CampaignSummary a LocalExecutor would have produced.  A shard slice is
+// forwarded to the daemon, so ShardedExecutor over several RemoteExecutors
+// fans one campaign out across daemons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exec/executor.h"
+
+namespace clktune::exec {
+
+class RemoteExecutor : public Executor {
+ public:
+  RemoteExecutor(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  /// Submits the request and streams until the terminal event.  The
+  /// request's cache pointer is ignored — the daemon owns its own cache.
+  /// Throws ExecError when the daemon reports an error, closes the
+  /// connection early, or cannot be reached.
+  Outcome execute(const Request& request,
+                  Observer* observer = nullptr) override;
+
+  std::string name() const override {
+    return "remote(" + host_ + ":" + std::to_string(port_) + ")";
+  }
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+};
+
+}  // namespace clktune::exec

@@ -1,0 +1,53 @@
+#include "exec/request.h"
+
+#include <utility>
+
+namespace clktune::exec {
+
+using util::Json;
+
+Request Request::for_scenario(scenario::ScenarioSpec spec) {
+  Request request;
+  request.kind = Kind::scenario;
+  request.scenario = std::move(spec);
+  return request;
+}
+
+Request Request::for_campaign(scenario::CampaignSpec spec) {
+  Request request;
+  request.kind = Kind::campaign;
+  request.campaign = std::move(spec);
+  return request;
+}
+
+Request Request::from_json(const Json& doc) {
+  if (doc.contains("base"))
+    return for_campaign(scenario::CampaignSpec::from_json(doc));
+  return for_scenario(scenario::ScenarioSpec::from_json(doc));
+}
+
+Json Request::document() const {
+  return kind == Kind::scenario ? scenario.to_json() : campaign.to_json();
+}
+
+std::size_t Request::expansion_size() const {
+  return kind == Kind::scenario ? 1 : campaign.expansion_size();
+}
+
+std::size_t Request::shard_cells() const {
+  return shard_cell_count(expansion_size(), shard_index, shard_count);
+}
+
+void Request::validate() const {
+  if (shard_count == 0 || shard_index >= shard_count)
+    throw ExecError("exec: shard index must satisfy 0 <= i < n");
+  if (kind == Kind::scenario && shard_count != 1)
+    throw ExecError("exec: a scenario request cannot be sharded");
+}
+
+Json Outcome::artifact(bool include_timing) const {
+  return kind == Request::Kind::scenario ? result.to_json(include_timing)
+                                         : summary.to_json(include_timing);
+}
+
+}  // namespace clktune::exec

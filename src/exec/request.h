@@ -1,0 +1,110 @@
+// The unit of work of the execution layer.
+//
+// A Request is a *resolved* scenario or campaign document plus the knobs
+// that are orthogonal to it: a result cache, a thread budget and a shard
+// slice.  None of the knobs may change result bytes — only where results
+// come from (cache), how fast they arrive (threads) and which slice of the
+// campaign expansion runs (shard).  An Outcome is the matching artifact —
+// ScenarioResult or CampaignSummary — together with execution diagnostics,
+// and Outcome::artifact() is byte-for-byte what `clktune run` / `sweep`
+// print for the same inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "scenario/campaign.h"
+#include "scenario/scenario.h"
+#include "util/json.h"
+
+namespace clktune::cache {
+class ResultCache;
+}
+
+namespace clktune::exec {
+
+/// A malformed or unsupported execution request (bad shard bounds, a
+/// backend asked to run a kind it cannot, a remote failure).
+class ExecError : public std::runtime_error {
+ public:
+  explicit ExecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Cells a round-robin shard slice covers: of `total` expansion indices,
+/// shard `index` of `count` runs those with idx % count == index.  The one
+/// definition of the slice arithmetic — Request::shard_cells and the merge
+/// validation both derive from it, keeping `report --merge` the exact
+/// inverse of `--shard`.
+constexpr std::size_t shard_cell_count(std::size_t total, std::size_t index,
+                                       std::size_t count) {
+  return total / count + (index < total % count ? 1 : 0);
+}
+
+struct Request {
+  enum class Kind { scenario, campaign };
+
+  Kind kind = Kind::scenario;
+  scenario::ScenarioSpec scenario;  ///< kind == scenario
+  scenario::CampaignSpec campaign;  ///< kind == campaign
+
+  /// Thread budget override.  For a scenario request this caps the inner
+  /// (Monte-Carlo) loops; for a campaign it is the worker count across
+  /// cells (each cell runs its inner loops single-threaded).  0 keeps the
+  /// campaign document's own `threads` (or hardware concurrency).
+  int threads = 0;
+
+  /// Optional content-addressed result cache, not owned.  Backends look
+  /// every cell up by content key before computing and store computed
+  /// results back.  RemoteExecutor ignores it — the daemon owns its own.
+  cache::ResultCache* cache = nullptr;
+
+  /// Run only expansion indices with index % shard_count == shard_index.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+
+  static Request for_scenario(scenario::ScenarioSpec spec);
+  static Request for_campaign(scenario::CampaignSpec spec);
+
+  /// Parses a scenario or campaign document, auto-detected by its shape
+  /// (a campaign has a "base" member).  Throws util::JsonError.
+  static Request from_json(const util::Json& doc);
+
+  /// The resolved document (ScenarioSpec / CampaignSpec::to_json) — the
+  /// wire form RemoteExecutor sends; parsing it back reproduces the spec.
+  util::Json document() const;
+
+  /// Number of cells the request expands to (1 for a scenario).
+  std::size_t expansion_size() const;
+
+  /// Number of cells the shard slice of this request covers.
+  std::size_t shard_cells() const;
+
+  /// Throws ExecError on out-of-range shard bounds (or a sharded scenario).
+  void validate() const;
+};
+
+struct Outcome {
+  Request::Kind kind = Request::Kind::scenario;
+  scenario::ScenarioResult result;   ///< kind == scenario
+  scenario::CampaignSummary summary; ///< kind == campaign
+
+  // Diagnostics (never serialised into the artifact).
+  std::string backend;                 ///< which executor produced this
+  std::uint64_t scenarios_run = 0;     ///< cells produced (computed + cached)
+  std::uint64_t scenarios_cached = 0;  ///< cells served from a cache
+  std::uint64_t targets_missed = 0;    ///< cells below their yield target
+  double seconds = 0.0;                ///< wall clock of the whole request
+
+  bool ok() const { return targets_missed == 0; }
+  bool fully_cached() const {
+    return scenarios_run > 0 && scenarios_cached == scenarios_run;
+  }
+
+  /// The artifact `clktune run` / `clktune sweep` print: the scenario
+  /// result or the campaign summary, timing-free (deterministic) unless
+  /// `include_timing`.
+  util::Json artifact(bool include_timing = false) const;
+};
+
+}  // namespace clktune::exec

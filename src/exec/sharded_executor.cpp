@@ -1,0 +1,107 @@
+#include "exec/sharded_executor.h"
+
+#include <atomic>
+#include <exception>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "exec/merge.h"
+#include "util/timer.h"
+
+namespace clktune::exec {
+
+ShardedExecutor::ShardedExecutor(
+    std::vector<std::unique_ptr<Executor>> children)
+    : children_(std::move(children)) {
+  if (children_.empty())
+    throw ExecError("sharded: needs at least one child executor");
+  for (const std::unique_ptr<Executor>& child : children_)
+    if (child == nullptr) throw ExecError("sharded: null child executor");
+}
+
+std::string ShardedExecutor::name() const {
+  return "sharded(" + std::to_string(children_.size()) + ")";
+}
+
+Outcome ShardedExecutor::execute(const Request& request, Observer* observer) {
+  request.validate();
+  if (request.shard_count != 1)
+    throw ExecError("sharded: request already carries a shard slice");
+  if (request.kind == Request::Kind::scenario)
+    return children_.front()->execute(request, observer);
+
+  const util::Stopwatch timer;
+  const std::size_t n = children_.size();
+  if (observer != nullptr)
+    observer->on_begin(request.expansion_size(), request.expansion_size());
+
+  // Children only see per-cell events; the single on_begin above already
+  // announced the whole campaign.  A failed child flips the shared abort
+  // flag so its siblings cancel at their next cell boundary instead of
+  // computing slices whose merge can no longer happen.
+  std::atomic<bool> abort{false};
+  struct ForwardingObserver : Observer {
+    ForwardingObserver(Observer* target, std::atomic<bool>& abort)
+        : target_(target), abort_(abort) {}
+    void on_begin(std::size_t, std::size_t) override {}
+    void on_cell(const CellEvent& event) override {
+      if (target_ != nullptr) target_->on_cell(event);
+    }
+    bool cancelled() override {
+      return abort_.load(std::memory_order_relaxed) ||
+             (target_ != nullptr && target_->cancelled());
+    }
+    Observer* target_;
+    std::atomic<bool>& abort_;
+  } forward{observer, abort};
+
+  std::vector<scenario::CampaignSummary> shards(n);
+  std::vector<std::exception_ptr> failures(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    threads.emplace_back([&, k] {
+      try {
+        Request slice = request;
+        slice.shard_index = k;
+        slice.shard_count = n;
+        shards[k] = children_[k]->execute(slice, &forward).summary;
+      } catch (...) {
+        failures[k] = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Rethrow the root cause, not the CancelledError a sibling raised in
+  // reaction to the abort flag (a genuine observer cancellation has no
+  // non-cancel failure, so it still surfaces).
+  std::exception_ptr primary;
+  for (const std::exception_ptr& failure : failures) {
+    if (!failure) continue;
+    if (!primary) primary = failure;
+    try {
+      std::rethrow_exception(failure);
+    } catch (const CancelledError&) {
+    } catch (...) {
+      primary = failure;
+      break;
+    }
+  }
+  if (primary) std::rethrow_exception(primary);
+
+  Outcome outcome;
+  outcome.kind = Request::Kind::campaign;
+  outcome.summary = merge_shard_summaries(shards);
+  outcome.summary.total_seconds = timer.seconds();
+  outcome.scenarios_run = outcome.summary.scenarios_run;
+  outcome.scenarios_cached = outcome.summary.scenarios_cached;
+  outcome.targets_missed = outcome.summary.targets_missed;
+  outcome.seconds = outcome.summary.total_seconds;
+  outcome.backend = name();
+  return outcome;
+}
+
+}  // namespace clktune::exec

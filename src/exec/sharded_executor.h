@@ -1,0 +1,37 @@
+// Fan-out backend: one campaign split across N child executors.
+//
+// Child k receives the same request restricted to the `--shard k/N`
+// expansion slice; the N shard summaries are merged back in expansion
+// order (exec::merge_shard_summaries), so the outcome is byte-identical to
+// an unsharded run of the whole campaign.  Children run concurrently on
+// their own threads; with RemoteExecutor children this is the multi-daemon
+// cross-host fan-out, with LocalExecutor children an in-process test rig
+// for the shard/merge path.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace clktune::exec {
+
+class ShardedExecutor : public Executor {
+ public:
+  /// Takes ownership of at least one child; child k runs shard k/N.
+  explicit ShardedExecutor(std::vector<std::unique_ptr<Executor>> children);
+
+  /// A campaign request fans out and merges; a scenario request (a single
+  /// cell — nothing to split) delegates to child 0.  The request must not
+  /// itself carry a shard slice.  Observer events stream from all children
+  /// concurrently, tagged with global expansion indices.
+  Outcome execute(const Request& request,
+                  Observer* observer = nullptr) override;
+
+  std::string name() const override;
+
+ private:
+  std::vector<std::unique_ptr<Executor>> children_;
+};
+
+}  // namespace clktune::exec

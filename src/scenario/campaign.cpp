@@ -1,12 +1,8 @@
 #include "scenario/campaign.h"
 
-#include <optional>
 #include <utility>
 
-#include "cache/result_cache.h"
 #include "util/stats.h"
-#include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace clktune::scenario {
 
@@ -208,65 +204,34 @@ Json CampaignSummary::to_json(bool include_timing) const {
   return j;
 }
 
-CampaignSummary CampaignRunner::run(const CampaignRunOptions& options) const {
-  const util::Stopwatch timer;
-  if (options.shard_count == 0 ||
-      options.shard_index >= options.shard_count)
-    throw JsonError("campaign: shard index must satisfy 0 <= i < n");
-  const std::vector<ScenarioSpec> all = spec_.expand();
-
-  // The expansion index is the unit of determinism, so a round-robin slice
-  // of it partitions a campaign across processes without coordination.
-  std::vector<std::size_t> selected;
-  selected.reserve(all.size() / options.shard_count + 1);
-  for (std::size_t i = options.shard_index; i < all.size();
-       i += options.shard_count)
-    selected.push_back(i);
-
+CampaignSummary CampaignSummary::from_json(const Json& j) {
   CampaignSummary summary;
-  summary.name = spec_.name;
-  summary.shard_index = options.shard_index;
-  summary.shard_count = options.shard_count;
-  summary.results.resize(selected.size());
-  std::vector<char> cached(selected.size(), 0);
-
-  // One worker thread per concurrent scenario; each scenario runs its inner
-  // loops single-threaded so the batch scales with scenario count.  Every
-  // worker writes only its own result slots, and slots are ordered by
-  // expansion index, so the summary is independent of scheduling.  Cache
-  // hits substitute a stored artifact for the computation — ScenarioResult
-  // JSON round trips are byte-exact, so the summary bytes cannot tell.
-  const std::size_t workers = util::resolve_thread_count(
-      spec_.threads <= 0 ? 0 : static_cast<std::size_t>(spec_.threads));
-  util::parallel_chunks(
-      selected.size(), workers,
-      [&](std::size_t, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const ScenarioSpec& scenario = all[selected[i]];
-          if (options.cache != nullptr) {
-            const std::string key = cache::scenario_cache_key(scenario);
-            if (std::optional<Json> artifact = options.cache->get(key)) {
-              summary.results[i] = ScenarioResult::from_json(*artifact);
-              cached[i] = 1;
-            } else {
-              summary.results[i] = run_scenario(scenario, /*threads=*/1);
-              options.cache->put(key, summary.results[i].to_json());
-            }
-          } else {
-            summary.results[i] = run_scenario(scenario, /*threads=*/1);
-          }
-          if (options.on_done)
-            options.on_done(selected[i], summary.results[i], cached[i] != 0);
-        }
-      });
-
-  summary.scenarios_run = summary.results.size();
-  for (std::size_t i = 0; i < summary.results.size(); ++i) {
-    summary.targets_missed += summary.results[i].met_target ? 0 : 1;
-    summary.scenarios_cached += cached[i];
+  summary.name = j.at("name").as_string();
+  if (const Json* shard = j.find("shard")) {
+    summary.shard_index =
+        static_cast<std::size_t>(shard->at("index").as_uint());
+    summary.shard_count =
+        static_cast<std::size_t>(shard->at("count").as_uint());
+    if (summary.shard_count == 0 ||
+        summary.shard_index >= summary.shard_count)
+      throw JsonError("summary: shard index must satisfy 0 <= i < n");
   }
-  summary.total_seconds = timer.seconds();
+  for (const Json& r : j.at("results").as_array())
+    summary.results.push_back(ScenarioResult::from_json(r));
+  // The counters are recomputed rather than trusted, so a hand-edited
+  // artifact cannot disagree with its own cells; the aggregate block is
+  // derived in to_json the same way.
+  summary.recount();
+  if (const Json* seconds = j.find("total_seconds"))
+    summary.total_seconds = seconds->as_double();
   return summary;
+}
+
+void CampaignSummary::recount() {
+  scenarios_run = results.size();
+  targets_missed = 0;
+  for (const ScenarioResult& r : results)
+    targets_missed += r.met_target ? 0 : 1;
 }
 
 }  // namespace clktune::scenario

@@ -24,16 +24,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "scenario/scenario.h"
 #include "util/json.h"
-
-namespace clktune::cache {
-class ResultCache;
-}
 
 namespace clktune::scenario {
 
@@ -83,42 +78,25 @@ struct CampaignSummary {
 
   /// Deterministic (timing-free) by default.
   util::Json to_json(bool include_timing = false) const;
+
+  /// Rederives scenarios_run and targets_missed from the cells — the one
+  /// place those counters are defined; every producer (local execution,
+  /// remote reassembly, shard merge, from_json) calls this instead of
+  /// counting by hand.  scenarios_cached is left alone: it is execution
+  /// provenance, not derivable from the cells.
+  void recount();
+
+  /// Rebuilds a summary from a serialised artifact (a `clktune sweep`
+  /// output file).  Round-trip safe for deterministic artifacts:
+  /// from_json(s.to_json()).to_json() reproduces the original bytes —
+  /// the aggregate block is recomputed from the cells, and cells round
+  /// trip via ScenarioResult.  Backs `clktune report --merge` and the
+  /// remote execution backend.  Throws util::JsonError on shape errors.
+  static CampaignSummary from_json(const util::Json& j);
 };
 
-/// Progress callback: (index into the expansion, result, served from
-/// cache) — invoked from worker threads as scenarios finish; may be empty.
-using ScenarioCallback =
-    std::function<void(std::size_t, const ScenarioResult&, bool)>;
-
-/// Execution knobs orthogonal to the campaign document: none of these may
-/// change results, only where they come from (cache) or which slice of the
-/// expansion runs (shard).
-struct CampaignRunOptions {
-  ScenarioCallback on_done;
-  /// When set, each expanded cell is looked up by its content key first and
-  /// computed results are stored back — a repeated sweep reruns nothing.
-  cache::ResultCache* cache = nullptr;
-  /// Run only expansion indices with index % shard_count == shard_index
-  /// (CI fan-out across processes/hosts; shards partition the expansion).
-  std::size_t shard_index = 0;
-  std::size_t shard_count = 1;
-};
-
-class CampaignRunner {
- public:
-  explicit CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {}
-
-  /// Expands the sweep and executes this shard's scenarios.  Scenarios run
-  /// concurrently via util::parallel_chunks, one inner thread each, and the
-  /// summary collects results in expansion order — the output is a pure
-  /// function of the campaign document (and the shard selection).  Throws
-  /// util::JsonError on an invalid shard specification.
-  CampaignSummary run(const CampaignRunOptions& options = {}) const;
-
-  const CampaignSpec& spec() const { return spec_; }
-
- private:
-  CampaignSpec spec_;
-};
+// Campaign execution lives in the exec layer: exec::LocalExecutor expands
+// and runs a CampaignSpec (optionally cached / sharded), and
+// exec::merge_shard_summaries reassembles shard summaries.
 
 }  // namespace clktune::scenario

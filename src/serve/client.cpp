@@ -20,13 +20,8 @@ std::uint64_t SubmitOutcome::targets_missed() const {
   return missed == nullptr ? 0 : missed->as_uint();
 }
 
-SubmitOutcome submit_request(const std::string& host, std::uint16_t port,
-                             const std::string& cmd, const Json& doc,
-                             const EventCallback& on_event) {
-  Json request = Json::object();
-  request.set("cmd", cmd);
-  if (!doc.is_null()) request.set("doc", doc);
-
+SubmitOutcome submit_raw(const std::string& host, std::uint16_t port,
+                         const Json& request, const EventCallback& on_event) {
   const util::TcpSocket connection = util::tcp_connect(host, port);
   util::tcp_write_all(connection, request.dump(-1) + "\n");
 
@@ -49,6 +44,15 @@ SubmitOutcome submit_request(const std::string& host, std::uint16_t port,
     break;  // done / status / error terminates the exchange
   }
   return outcome;
+}
+
+SubmitOutcome submit_request(const std::string& host, std::uint16_t port,
+                             const std::string& cmd, const Json& doc,
+                             const EventCallback& on_event) {
+  Json request = Json::object();
+  request.set("cmd", cmd);
+  if (!doc.is_null()) request.set("doc", doc);
+  return submit_raw(host, port, request, on_event);
 }
 
 SubmitOutcome submit_document(const std::string& host, std::uint16_t port,

@@ -28,6 +28,16 @@ struct SubmitOutcome {
 /// Progress observer: every response event, in arrival order; may be empty.
 using EventCallback = std::function<void(const util::Json&)>;
 
+/// Sends one pre-built request line verbatim and collects the response
+/// stream — the layer RemoteExecutor builds on, for requests that carry
+/// members beyond cmd/doc (e.g. a "shard" slice).  Throws
+/// std::runtime_error on connection failure and util::JsonError on a
+/// malformed response line; exceptions from `on_event` propagate (closing
+/// the connection), which is how an observer aborts a stream.
+SubmitOutcome submit_raw(const std::string& host, std::uint16_t port,
+                         const util::Json& request,
+                         const EventCallback& on_event = {});
+
 /// Sends `{"cmd":cmd,"doc":doc}` (doc omitted when null) and collects the
 /// response stream.  Throws std::runtime_error on connection failure and
 /// util::JsonError on a malformed response line.

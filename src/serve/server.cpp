@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <exception>
 #include <mutex>
-#include <optional>
 
+#include "exec/local_executor.h"
+#include "exec/observer.h"
+#include "exec/request.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
 #include "util/json.h"
@@ -45,6 +47,38 @@ Json done_event(std::uint64_t scenarios_run, std::uint64_t targets_missed,
   event.set("cached", cached);
   return event;
 }
+
+/// The wire adapter of the exec layer: every finished cell becomes one
+/// streamed "result" line.  Cells finish on worker threads, hence the
+/// lock; a dead peer stops the stream but never the computation — results
+/// still land in the cache.
+class StreamObserver : public exec::Observer {
+ public:
+  explicit StreamObserver(const util::TcpSocket& connection)
+      : connection_(connection) {}
+
+  void on_cell(const exec::CellEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (peer_gone_) return;
+    try {
+      send_event(connection_,
+                 result_event(event.index, event.cached,
+                              event.result.to_json()));
+    } catch (const std::exception&) {
+      peer_gone_ = true;
+    }
+  }
+
+  bool peer_gone() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return peer_gone_;
+  }
+
+ private:
+  const util::TcpSocket& connection_;
+  mutable std::mutex mutex_;
+  bool peer_gone_ = false;
+};
 
 }  // namespace
 
@@ -116,51 +150,29 @@ void ScenarioServer::handle_request(const util::TcpSocket& connection,
     return;
   }
 
-  if (cmd == "run") {
-    const auto spec = scenario::ScenarioSpec::from_json(request.at("doc"));
-    const std::string key = cache::scenario_cache_key(spec);
-    bool cached = true;
-    std::optional<Json> artifact = cache_.get(key);
-    if (!artifact) {
-      cached = false;
-      const scenario::ScenarioResult result =
-          scenario::run_scenario(spec, options_.threads);
-      artifact = result.to_json();
-      cache_.put(key, *artifact);
+  if (cmd == "run" || cmd == "sweep") {
+    exec::Request exec_request =
+        cmd == "run"
+            ? exec::Request::for_scenario(
+                  scenario::ScenarioSpec::from_json(request.at("doc")))
+            : exec::Request::for_campaign(
+                  scenario::CampaignSpec::from_json(request.at("doc")));
+    exec_request.threads = options_.threads;
+    exec_request.cache = &cache_;
+    if (const Json* shard = request.find("shard")) {
+      exec_request.shard_index =
+          static_cast<std::size_t>(shard->at("index").as_uint());
+      exec_request.shard_count =
+          static_cast<std::size_t>(shard->at("count").as_uint());
     }
-    ++scenarios_run_;
-    send_event(connection, result_event(0, cached, *artifact));
-    const bool met_target =
-        artifact->at("met_target").as_bool();
-    send_event(connection, done_event(1, met_target ? 0 : 1, cached ? 1 : 0));
-    return;
-  }
-
-  if (cmd == "sweep") {
-    auto spec = scenario::CampaignSpec::from_json(request.at("doc"));
-    if (options_.threads > 0) spec.threads = options_.threads;
-    const scenario::CampaignRunner runner(std::move(spec));
-    scenario::CampaignRunOptions run_options;
-    run_options.cache = &cache_;
-    std::mutex write_mutex;  // result callbacks fire from worker threads
-    bool peer_gone = false;  // a throwing callback would kill the worker
-    run_options.on_done = [&](std::size_t index,
-                              const scenario::ScenarioResult& result,
-                              bool cached) {
-      const std::lock_guard<std::mutex> lock(write_mutex);
-      if (peer_gone) return;
-      try {
-        send_event(connection, result_event(index, cached, result.to_json()));
-      } catch (const std::exception&) {
-        peer_gone = true;  // keep computing: results still land in the cache
-      }
-    };
-    const scenario::CampaignSummary summary = runner.run(run_options);
-    scenarios_run_ += summary.scenarios_run;
-    if (!peer_gone)
+    exec::LocalExecutor executor;
+    StreamObserver observer(connection);
+    const exec::Outcome outcome = executor.execute(exec_request, &observer);
+    scenarios_run_ += outcome.scenarios_run;
+    if (!observer.peer_gone())
       send_event(connection,
-                 done_event(summary.scenarios_run, summary.targets_missed,
-                            summary.scenarios_cached));
+                 done_event(outcome.scenarios_run, outcome.targets_missed,
+                            outcome.scenarios_cached));
     return;
   }
 

@@ -12,6 +12,12 @@
 //   {"cmd":"status"}                     -> status
 //   {"cmd":"shutdown"}                   -> done (then the server exits)
 //
+// A sweep request may carry an optional {"shard":{"index":i,"count":n}}
+// member: the daemon then runs only the expansion indices with
+// idx % n == i, exactly like `clktune sweep --shard i/n` — the hook that
+// lets a coordinator (exec::ShardedExecutor over exec::RemoteExecutors)
+// fan one campaign out across several daemons.
+//
 //   result: {"event":"result","index":i,"cached":bool,"result":{artifact}}
 //   done:   {"event":"done","ok":true,"scenarios_run":n,
 //            "targets_missed":m,"cached":c}
@@ -19,10 +25,12 @@
 //            "scenarios_run":n,"cache":{hits,misses,...}}
 //   error:  {"event":"error","message":"..."}
 //
-// Sweep results stream in completion order, tagged with their expansion
-// index; scenario execution fans out over the campaign thread pool, so one
-// request at a time is admitted (compute is parallel, admission is serial).
-// Every result — run or sweep — goes through the content-addressed
+// Sweep results stream in completion order, tagged with their global
+// expansion index; scenario execution fans out over the campaign thread
+// pool, so one request at a time is admitted (compute is parallel,
+// admission is serial).  Requests execute through exec::LocalExecutor —
+// the same backend the CLI uses — with a streaming exec::Observer as the
+// wire adapter, and every result goes through the content-addressed
 // ResultCache, so the daemon never recomputes a document it has already
 // solved, across requests and across clients.
 #pragma once

@@ -2,8 +2,8 @@
 // content-key stability across member-order permutations, LRU hit / miss /
 // eviction behaviour, disk persistence across cache instances, the
 // byte-exact ScenarioResult JSON round trip the cache depends on, and a
-// warm CampaignRunner rerun that computes nothing yet reproduces the cold
-// summary bit for bit.
+// warm exec::LocalExecutor rerun that computes nothing yet reproduces the
+// cold summary bit for bit.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -11,6 +11,8 @@
 #include <string>
 
 #include "cache/result_cache.h"
+#include "exec/local_executor.h"
+#include "exec/request.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
 #include "scenario/summary_diff.h"
@@ -229,16 +231,16 @@ Json tiny_campaign_doc() {
 
 TEST(CampaignCacheTest, WarmRerunComputesNothingAndMatchesColdBytes) {
   const auto spec = scenario::CampaignSpec::from_json(tiny_campaign_doc());
-  const scenario::CampaignRunner runner(spec);
   cache::ResultCache cache_store;
 
-  scenario::CampaignRunOptions options;
-  options.cache = &cache_store;
-  const scenario::CampaignSummary cold = runner.run(options);
+  exec::Request request = exec::Request::for_campaign(spec);
+  request.cache = &cache_store;
+  exec::LocalExecutor executor;
+  const scenario::CampaignSummary cold = executor.execute(request).summary;
   EXPECT_EQ(cold.scenarios_cached, 0u);
   EXPECT_EQ(cache_store.stats().misses, 2u);
 
-  const scenario::CampaignSummary warm = runner.run(options);
+  const scenario::CampaignSummary warm = executor.execute(request).summary;
   EXPECT_EQ(warm.scenarios_cached, warm.scenarios_run);
   EXPECT_EQ(cache_store.stats().hits, 2u);
   EXPECT_EQ(warm.to_json().dump(), cold.to_json().dump());
@@ -246,16 +248,17 @@ TEST(CampaignCacheTest, WarmRerunComputesNothingAndMatchesColdBytes) {
 
 TEST(CampaignShardTest, ShardsPartitionTheExpansion) {
   const auto spec = scenario::CampaignSpec::from_json(tiny_campaign_doc());
-  const scenario::CampaignRunner runner(spec);
-  const scenario::CampaignSummary full = runner.run();
+  exec::LocalExecutor executor;
+  const exec::Request request = exec::Request::for_campaign(spec);
+  const scenario::CampaignSummary full = executor.execute(request).summary;
 
-  scenario::CampaignRunOptions shard0, shard1;
+  exec::Request shard0 = request, shard1 = request;
   shard0.shard_index = 0;
   shard0.shard_count = 2;
   shard1.shard_index = 1;
   shard1.shard_count = 2;
-  const scenario::CampaignSummary a = runner.run(shard0);
-  const scenario::CampaignSummary b = runner.run(shard1);
+  const scenario::CampaignSummary a = executor.execute(shard0).summary;
+  const scenario::CampaignSummary b = executor.execute(shard1).summary;
 
   ASSERT_EQ(full.results.size(), 2u);
   ASSERT_EQ(a.results.size(), 1u);
@@ -267,10 +270,10 @@ TEST(CampaignShardTest, ShardsPartitionTheExpansion) {
   EXPECT_NE(a.to_json().dump().find("\"shard\""), std::string::npos);
   EXPECT_EQ(full.to_json().dump().find("\"shard\""), std::string::npos);
 
-  scenario::CampaignRunOptions bad;
+  exec::Request bad = request;
   bad.shard_index = 2;
   bad.shard_count = 2;
-  EXPECT_THROW(runner.run(bad), util::JsonError);
+  EXPECT_THROW(executor.execute(bad), exec::ExecError);
 }
 
 // ---------------------------------------------------------- summary diff

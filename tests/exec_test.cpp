@@ -1,0 +1,331 @@
+// Execution-layer tests.  The load-bearing property is backend
+// equivalence: the same request must produce byte-identical artifacts
+// through LocalExecutor, RemoteExecutor (a real loopback daemon) and
+// ShardedExecutor (shard fan-out + expansion-order merge) — that is what
+// makes the backends composable.  Also covered: shard-summary merge
+// validation (the `report --merge` path), CampaignSummary round trips,
+// observer streaming and cooperative cancellation.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cache/result_cache.h"
+#include "exec/local_executor.h"
+#include "exec/merge.h"
+#include "exec/observer.h"
+#include "exec/remote_executor.h"
+#include "exec/request.h"
+#include "exec/sharded_executor.h"
+#include "scenario/campaign.h"
+#include "scenario/scenario.h"
+#include "serve/server.h"
+#include "util/json.h"
+
+namespace clktune {
+namespace {
+
+using util::Json;
+
+Json tiny_scenario_doc() {
+  return Json::parse(R"({
+    "name": "tiny",
+    "design": {"synthetic": {"name": "tiny", "num_flipflops": 30,
+                             "num_gates": 220, "seed": 5}},
+    "clock": {"sigma_offset": 0.0, "period_samples": 400},
+    "insertion": {"num_samples": 200, "steps": 8},
+    "evaluation": {"samples": 400, "seed": 99}
+  })");
+}
+
+Json tiny_campaign_doc() {
+  Json doc = Json::object();
+  doc.set("name", "tiny_campaign");
+  doc.set("base", tiny_scenario_doc());
+  Json sweep = Json::object();
+  sweep.set("clock.sigma_offset",
+            Json(util::JsonArray{Json(0.0), Json(1.0)}));
+  doc.set("sweep", std::move(sweep));
+  return doc;
+}
+
+exec::Request campaign_request() {
+  return exec::Request::from_json(tiny_campaign_doc());
+}
+
+/// Collects every observer event; thread-safe, since campaign cells finish
+/// on worker threads.
+class RecordingObserver : public exec::Observer {
+ public:
+  void on_begin(std::size_t total, std::size_t own) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total_cells = total;
+    own_cells = own;
+    ++begins;
+  }
+  void on_cell(const exec::CellEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    indices.insert(event.index);
+    cached_cells += event.cached ? 1 : 0;
+  }
+
+  std::mutex mutex_;
+  std::size_t total_cells = 0;
+  std::size_t own_cells = 0;
+  int begins = 0;
+  std::set<std::size_t> indices;
+  std::size_t cached_cells = 0;
+};
+
+/// Daemon on an ephemeral loopback port, accept loop on a worker thread.
+class ExecServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    serve::ServeOptions options;
+    options.port = 0;
+    options.threads = 2;
+    server_ = std::make_unique<serve::ScenarioServer>(std::move(options));
+    server_->start();
+    thread_ = std::thread([this] { server_->serve_forever(); });
+  }
+
+  void TearDown() override {
+    server_->stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::unique_ptr<serve::ScenarioServer> server_;
+  std::thread thread_;
+};
+
+// ------------------------------------------------------ backend equivalence
+
+TEST_F(ExecServerFixture, AllThreeBackendsProduceByteIdenticalSummaries) {
+  const exec::Request request = campaign_request();
+
+  exec::LocalExecutor local;
+  const exec::Outcome via_local = local.execute(request);
+
+  exec::RemoteExecutor remote("127.0.0.1", server_->port());
+  const exec::Outcome via_remote = remote.execute(request);
+
+  std::vector<std::unique_ptr<exec::Executor>> children;
+  children.push_back(std::make_unique<exec::LocalExecutor>());
+  children.push_back(std::make_unique<exec::LocalExecutor>());
+  exec::ShardedExecutor sharded(std::move(children));
+  const exec::Outcome via_sharded = sharded.execute(request);
+
+  const std::string expected = via_local.artifact().dump();
+  EXPECT_EQ(via_remote.artifact().dump(), expected);
+  EXPECT_EQ(via_sharded.artifact().dump(), expected);
+
+  EXPECT_EQ(via_local.backend, "local");
+  EXPECT_EQ(via_sharded.backend, "sharded(2)");
+  EXPECT_NE(via_remote.backend.find("remote(127.0.0.1:"), std::string::npos);
+  for (const exec::Outcome* outcome :
+       {&via_local, &via_remote, &via_sharded}) {
+    EXPECT_EQ(outcome->scenarios_run, 2u);
+    EXPECT_TRUE(outcome->ok());
+  }
+}
+
+TEST_F(ExecServerFixture, ScenarioRequestMatchesDirectExecution) {
+  exec::Request request = exec::Request::from_json(tiny_scenario_doc());
+  ASSERT_EQ(request.kind, exec::Request::Kind::scenario);
+  // A lone scenario parallelises its inner Monte-Carlo loops, whose
+  // reduction order depends on the worker count — pin it to the daemon's.
+  request.threads = 2;
+
+  const scenario::ScenarioResult direct = scenario::run_scenario(
+      scenario::ScenarioSpec::from_json(tiny_scenario_doc()), 2);
+
+  exec::LocalExecutor local;
+  EXPECT_EQ(local.execute(request).artifact().dump(),
+            direct.to_json().dump());
+
+  exec::RemoteExecutor remote("127.0.0.1", server_->port());
+  const exec::Outcome cold = remote.execute(request);
+  EXPECT_EQ(cold.artifact().dump(), direct.to_json().dump());
+  EXPECT_EQ(cold.scenarios_cached, 0u);
+  // The daemon's cache serves the repeat byte-identically.
+  const exec::Outcome warm = remote.execute(request);
+  EXPECT_EQ(warm.scenarios_cached, 1u);
+  EXPECT_EQ(warm.artifact().dump(), direct.to_json().dump());
+}
+
+TEST_F(ExecServerFixture, RemoteShardSliceMatchesLocalShard) {
+  exec::Request request = campaign_request();
+  request.shard_index = 0;
+  request.shard_count = 2;
+
+  exec::LocalExecutor local;
+  exec::RemoteExecutor remote("127.0.0.1", server_->port());
+  EXPECT_EQ(remote.execute(request).artifact().dump(),
+            local.execute(request).artifact().dump());
+}
+
+TEST(ShardedExecutorTest, ScenarioDelegatesAndDoubleShardingIsRejected) {
+  std::vector<std::unique_ptr<exec::Executor>> children;
+  children.push_back(std::make_unique<exec::LocalExecutor>());
+  exec::ShardedExecutor sharded(std::move(children));
+
+  const exec::Request scenario_request =
+      exec::Request::from_json(tiny_scenario_doc());
+  const exec::Outcome outcome = sharded.execute(scenario_request);
+  EXPECT_EQ(outcome.scenarios_run, 1u);
+
+  exec::Request sliced = campaign_request();
+  sliced.shard_index = 1;
+  sliced.shard_count = 2;
+  EXPECT_THROW(sharded.execute(sliced), exec::ExecError);
+
+  EXPECT_THROW(
+      exec::ShardedExecutor(std::vector<std::unique_ptr<exec::Executor>>{}),
+      exec::ExecError);
+}
+
+TEST(ShardedExecutorTest, ChildFailureSurfacesAsTheRootCause) {
+  // An unreachable-daemon stand-in: the failing child aborts immediately,
+  // flips the shared abort flag so the healthy sibling stops early, and
+  // its ExecError — not a reactive CancelledError — must surface.
+  struct FailingExecutor : exec::Executor {
+    exec::Outcome execute(const exec::Request&, exec::Observer*) override {
+      throw exec::ExecError("daemon unreachable");
+    }
+    std::string name() const override { return "failing"; }
+  };
+  std::vector<std::unique_ptr<exec::Executor>> children;
+  children.push_back(std::make_unique<FailingExecutor>());
+  children.push_back(std::make_unique<exec::LocalExecutor>());
+  exec::ShardedExecutor sharded(std::move(children));
+  EXPECT_THROW(sharded.execute(campaign_request()), exec::ExecError);
+}
+
+// ------------------------------------------------------------------- merge
+
+TEST(MergeTest, ShardSummariesMergeToUnshardedBytes) {
+  exec::LocalExecutor local;
+  const exec::Request request = campaign_request();
+  const scenario::CampaignSummary full = local.execute(request).summary;
+
+  exec::Request shard0 = request, shard1 = request;
+  shard0.shard_count = shard1.shard_count = 2;
+  shard0.shard_index = 0;
+  shard1.shard_index = 1;
+  const scenario::CampaignSummary a = local.execute(shard0).summary;
+  const scenario::CampaignSummary b = local.execute(shard1).summary;
+
+  // Input order must not matter, and the merged bytes must be exactly the
+  // unsharded sweep's (modulo the timing field, which to_json omits).
+  const scenario::CampaignSummary merged = exec::merge_shard_summaries({b, a});
+  EXPECT_EQ(merged.to_json().dump(), full.to_json().dump());
+
+  // Through the artifact layer too — the `report --merge` path parses the
+  // shard summaries back from their JSON files first.
+  const scenario::CampaignSummary reparsed = exec::merge_shard_summaries(
+      {scenario::CampaignSummary::from_json(a.to_json()),
+       scenario::CampaignSummary::from_json(b.to_json())});
+  EXPECT_EQ(reparsed.to_json().dump(), full.to_json().dump());
+}
+
+TEST(MergeTest, RejectsOverlappingMissingAndMismatchedShards) {
+  exec::LocalExecutor local;
+  exec::Request shard0 = campaign_request(), shard1 = campaign_request();
+  shard0.shard_count = shard1.shard_count = 2;
+  shard0.shard_index = 0;
+  shard1.shard_index = 1;
+  const scenario::CampaignSummary a = local.execute(shard0).summary;
+  const scenario::CampaignSummary b = local.execute(shard1).summary;
+
+  EXPECT_THROW(exec::merge_shard_summaries({}), exec::ExecError);
+  EXPECT_THROW(exec::merge_shard_summaries({a, a}), exec::ExecError);
+  EXPECT_THROW(exec::merge_shard_summaries({a}), exec::ExecError);
+
+  scenario::CampaignSummary renamed = b;
+  renamed.name = "other_campaign";
+  EXPECT_THROW(exec::merge_shard_summaries({a, renamed}), exec::ExecError);
+
+  scenario::CampaignSummary recount = b;
+  recount.shard_count = 3;
+  EXPECT_THROW(exec::merge_shard_summaries({a, recount}), exec::ExecError);
+
+  // Shard 0 of any non-empty round-robin split can never be empty, so the
+  // cell-count consistency check rejects this pair.
+  scenario::CampaignSummary truncated = a;
+  truncated.results.clear();
+  EXPECT_THROW(exec::merge_shard_summaries({truncated, b}),
+               exec::ExecError);
+}
+
+TEST(MergeTest, SummaryJsonRoundTripIsByteExact) {
+  exec::LocalExecutor local;
+  exec::Request request = campaign_request();
+  request.shard_index = 1;
+  request.shard_count = 2;
+  const scenario::CampaignSummary shard = local.execute(request).summary;
+  const std::string original = shard.to_json().dump();
+  const scenario::CampaignSummary rebuilt =
+      scenario::CampaignSummary::from_json(Json::parse(original));
+  EXPECT_EQ(rebuilt.to_json().dump(), original);
+  EXPECT_EQ(rebuilt.shard_index, 1u);
+  EXPECT_EQ(rebuilt.shard_count, 2u);
+}
+
+// ---------------------------------------------------- observer + cancelling
+
+TEST(ObserverTest, StreamsEveryCellWithGlobalIndices) {
+  cache::ResultCache cache_store;
+  exec::Request request = campaign_request();
+  request.cache = &cache_store;
+
+  exec::LocalExecutor local;
+  RecordingObserver cold;
+  local.execute(request, &cold);
+  EXPECT_EQ(cold.begins, 1);
+  EXPECT_EQ(cold.total_cells, 2u);
+  EXPECT_EQ(cold.own_cells, 2u);
+  EXPECT_EQ(cold.indices, (std::set<std::size_t>{0, 1}));
+  EXPECT_EQ(cold.cached_cells, 0u);
+
+  RecordingObserver warm;
+  local.execute(request, &warm);
+  EXPECT_EQ(warm.cached_cells, 2u);
+
+  // A shard slice reports its own cell count but global indices.
+  exec::Request slice = request;
+  slice.shard_index = 1;
+  slice.shard_count = 2;
+  RecordingObserver sliced;
+  local.execute(slice, &sliced);
+  EXPECT_EQ(sliced.total_cells, 2u);
+  EXPECT_EQ(sliced.own_cells, 1u);
+  EXPECT_EQ(sliced.indices, (std::set<std::size_t>{1}));
+}
+
+TEST(ObserverTest, CancellationStopsTheCampaign) {
+  // Single worker makes the poll order deterministic: cell 0 completes,
+  // then the cancel flag is seen before cell 1 starts.
+  struct CancelAfterFirst : RecordingObserver {
+    bool cancelled() override {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      return !indices.empty();
+    }
+  } observer;
+
+  auto spec = scenario::CampaignSpec::from_json(tiny_campaign_doc());
+  spec.threads = 1;
+  exec::LocalExecutor local;
+  EXPECT_THROW(
+      local.execute(exec::Request::for_campaign(spec), &observer),
+      exec::CancelledError);
+  EXPECT_EQ(observer.indices.size(), 1u);
+}
+
+}  // namespace
+}  // namespace clktune

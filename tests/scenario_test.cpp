@@ -8,6 +8,8 @@
 #include <string>
 
 #include "core/report_json.h"
+#include "exec/local_executor.h"
+#include "exec/request.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
 #include "util/json.h"
@@ -297,10 +299,13 @@ TEST(CampaignTest, RejectsMalformedCampaigns) {
 
 TEST(CampaignTest, EndToEndDeterministicAcrossRunsAndThreadCounts) {
   auto spec = scenario::CampaignSpec::from_json(tiny_campaign_doc());
+  exec::LocalExecutor executor;
   spec.threads = 4;
-  const scenario::CampaignSummary a = scenario::CampaignRunner(spec).run();
+  const scenario::CampaignSummary a =
+      executor.execute(exec::Request::for_campaign(spec)).summary;
   spec.threads = 1;
-  const scenario::CampaignSummary b = scenario::CampaignRunner(spec).run();
+  const scenario::CampaignSummary b =
+      executor.execute(exec::Request::for_campaign(spec)).summary;
 
   ASSERT_EQ(a.results.size(), 4u);
   EXPECT_EQ(a.scenarios_run, 4u);
@@ -322,8 +327,12 @@ TEST(CampaignTest, EndToEndDeterministicAcrossRunsAndThreadCounts) {
 TEST(CampaignTest, YieldTargetsAreChecked) {
   Json doc = tiny_campaign_doc();
   doc.find("base")->set("yield_target", 1.0);  // unreachable at muT
-  const auto summary =
-      scenario::CampaignRunner(scenario::CampaignSpec::from_json(doc)).run();
+  exec::LocalExecutor executor;
+  const scenario::CampaignSummary summary =
+      executor
+          .execute(exec::Request::for_campaign(
+              scenario::CampaignSpec::from_json(doc)))
+          .summary;
   EXPECT_GT(summary.targets_missed, 0u);
   bool missed_flagged = false;
   for (const scenario::ScenarioResult& r : summary.results)
