@@ -1,0 +1,131 @@
+#include "cache/maintenance.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "cache/result_cache.h"
+#include "scenario/scenario.h"
+#include "util/json.h"
+
+namespace clktune::cache {
+
+namespace fs = std::filesystem;
+using util::Json;
+
+namespace {
+
+struct Entry {
+  fs::path path;
+  std::uint64_t bytes = 0;
+  fs::file_time_type mtime;
+};
+
+bool is_temp_file(const fs::path& path) {
+  return path.filename().string().find(".tmp.") != std::string::npos;
+}
+
+bool is_entry_file(const fs::path& path) {
+  return path.extension() == ".json" && !is_temp_file(path);
+}
+
+/// Cache entries (and, separately, writer temp files) under `directory`.
+std::vector<Entry> scan(const std::string& directory,
+                        std::vector<fs::path>* temp_files = nullptr) {
+  if (!fs::is_directory(directory))
+    throw std::runtime_error("cache: no such cache directory: " + directory);
+  std::vector<Entry> entries;
+  for (const fs::directory_entry& item : fs::directory_iterator(directory)) {
+    if (!item.is_regular_file()) continue;
+    if (is_temp_file(item.path())) {
+      if (temp_files != nullptr) temp_files->push_back(item.path());
+      continue;
+    }
+    if (!is_entry_file(item.path())) continue;
+    Entry entry;
+    entry.path = item.path();
+    std::error_code ec;
+    entry.bytes = item.file_size(ec);
+    entry.mtime = item.last_write_time(ec);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+DiskCacheStats disk_cache_stats(const std::string& directory) {
+  DiskCacheStats stats;
+  for (const Entry& entry : scan(directory)) {
+    ++stats.entries;
+    stats.bytes += entry.bytes;
+  }
+  return stats;
+}
+
+GcReport gc_cache_dir(const std::string& directory, std::uint64_t max_bytes) {
+  std::vector<fs::path> temp_files;
+  std::vector<Entry> entries = scan(directory, &temp_files);
+
+  GcReport report;
+  for (const fs::path& temp : temp_files) {
+    std::error_code ec;
+    if (fs::remove(temp, ec)) ++report.temp_files_removed;
+  }
+
+  report.scanned = entries.size();
+  std::uint64_t total = 0;
+  for (const Entry& entry : entries) total += entry.bytes;
+
+  // Oldest-first by mtime — the disk layer's LRU order (ResultCache writes
+  // an entry once and never touches it again, so mtime is last use by a
+  // writer; readers are not tracked, which keeps eviction lock-free).
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+
+  for (const Entry& entry : entries) {
+    if (total <= max_bytes) {
+      ++report.kept;
+      report.kept_bytes += entry.bytes;
+      continue;
+    }
+    std::error_code ec;
+    if (fs::remove(entry.path, ec)) {
+      ++report.removed;
+      report.removed_bytes += entry.bytes;
+      total -= entry.bytes;
+    } else {
+      ++report.kept;
+      report.kept_bytes += entry.bytes;
+    }
+  }
+  return report;
+}
+
+VerifyReport verify_cache_dir(const std::string& directory) {
+  VerifyReport report;
+  for (const Entry& entry : scan(directory)) {
+    ++report.checked;
+    const std::string file = entry.path.filename().string();
+    try {
+      // Same integrity contract the runtime applies on a disk hit: the
+      // filename stem is the key the entry must unwrap under.
+      const Json artifact = unwrap_disk_entry(
+          entry.path.stem().string(),
+          util::read_json_file(entry.path.string()));
+      // The byte-exact round trip is what a cache hit substitutes for a
+      // recomputation; an artifact that fails it must never be served.
+      const scenario::ScenarioResult result =
+          scenario::ScenarioResult::from_json(artifact);
+      if (result.to_json().dump() != artifact.dump())
+        throw std::runtime_error(
+            "artifact does not round-trip through ScenarioResult");
+    } catch (const std::exception& e) {
+      report.issues.push_back({file, e.what()});
+    }
+  }
+  return report;
+}
+
+}  // namespace clktune::cache

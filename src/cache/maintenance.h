@@ -1,0 +1,61 @@
+// Offline maintenance of the on-disk result-cache layer — the engine
+// behind `clktune cache stats|gc|verify`.
+//
+// The disk layer is a directory of `<key>.json` envelopes (see
+// result_cache.h) shared by every process pointing --cache-dir at it; it
+// grows without bound unless evicted.  These operations need no running
+// cache instance: they walk the directory, so they are safe to run beside
+// live writers (entries appear atomically via rename; a concurrently
+// evicted entry simply reads as a miss afterwards).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clktune::cache {
+
+/// Size of the disk layer: how many entries and artifact bytes live under
+/// a cache directory.  Throws std::runtime_error when the directory does
+/// not exist.
+struct DiskCacheStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+DiskCacheStats disk_cache_stats(const std::string& directory);
+
+/// LRU eviction by mtime: removes oldest entries until the layer fits
+/// `max_bytes` (0 = remove everything).  Leftover `*.tmp.*` files from
+/// crashed writers are always removed.  Closes the ROADMAP cache-eviction
+/// item.  Throws std::runtime_error when the directory does not exist.
+struct GcReport {
+  std::uint64_t scanned = 0;        ///< entries found
+  std::uint64_t removed = 0;        ///< entries evicted (oldest first)
+  std::uint64_t removed_bytes = 0;
+  std::uint64_t kept = 0;
+  std::uint64_t kept_bytes = 0;
+  std::uint64_t temp_files_removed = 0;
+};
+GcReport gc_cache_dir(const std::string& directory, std::uint64_t max_bytes);
+
+/// Integrity check: every entry must parse as an envelope whose embedded
+/// key matches its filename, whose recorded sha256 matches a re-hash of
+/// the artifact, and whose artifact round-trips byte-exactly through
+/// ScenarioResult (the property that lets the cache substitute it for a
+/// recomputation).  Violations are reported, never repaired — a corrupt
+/// entry would be served as a miss at runtime anyway, but naming it lets
+/// an operator delete or investigate.  Throws std::runtime_error when the
+/// directory does not exist.
+struct VerifyIssue {
+  std::string file;  ///< entry filename (relative to the directory)
+  std::string what;
+};
+struct VerifyReport {
+  std::uint64_t checked = 0;
+  std::vector<VerifyIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+};
+VerifyReport verify_cache_dir(const std::string& directory);
+
+}  // namespace clktune::cache

@@ -17,11 +17,37 @@ using util::Json;
 
 namespace {
 
-/// Bumped whenever the artifact schema or the flow's numeric behaviour
-/// changes, so stale entries read as misses instead of wrong answers.
-constexpr const char* kSchemaSalt = "clktune-scenario-result-v1\n";
+/// Bumped whenever the artifact schema, the flow's numeric behaviour or
+/// the on-disk entry format changes, so stale entries read as misses
+/// instead of wrong answers.  v2: disk entries became self-describing
+/// envelopes ({"key","sha256","result"}) so `clktune cache verify` can
+/// re-hash artifacts against their keys.
+constexpr const char* kSchemaSalt = "clktune-scenario-result-v2\n";
 
 }  // namespace
+
+Json wrap_disk_entry(const std::string& key, const Json& artifact) {
+  Json envelope = Json::object();
+  envelope.set("key", key);
+  envelope.set("sha256", util::sha256_hex(util::canonical_dump(artifact)));
+  envelope.set("result", artifact);
+  return envelope;
+}
+
+Json unwrap_disk_entry(const std::string& key, const Json& envelope) {
+  const std::string& embedded = envelope.at("key").as_string();
+  if (embedded != key)
+    throw util::JsonError("cache: envelope key \"" + embedded +
+                          "\" does not match \"" + key + "\"");
+  Json artifact = envelope.at("result");
+  const std::string digest =
+      util::sha256_hex(util::canonical_dump(artifact));
+  if (digest != envelope.at("sha256").as_string())
+    throw util::JsonError("cache: artifact re-hash " + digest +
+                          " does not match the recorded sha256 — entry"
+                          " is corrupt");
+  return artifact;
+}
 
 Json CacheStats::to_json() const {
   Json j = Json::object();
@@ -94,7 +120,12 @@ std::optional<Json> ResultCache::get(const std::string& key) {
   }
   if (!directory_.empty()) {
     try {
-      Json artifact = util::read_json_file(artifact_path(key));
+      // Disk entries are envelopes; a legacy bare artifact, a wrong-key
+      // file, torn bytes or a corrupted artifact (digest mismatch) all
+      // throw here and read as a miss — the recomputation then overwrites
+      // the bad entry, so corruption self-heals instead of poisoning runs.
+      Json artifact = unwrap_disk_entry(
+          key, util::read_json_file(artifact_path(key)));
       std::lock_guard<std::mutex> lock(mutex_);
       insert_memory_locked(key, artifact);
       ++stats_.hits;
@@ -121,7 +152,8 @@ void ResultCache::put(const std::string& key, const Json& artifact) {
     tmp_path += std::to_string(::getpid());
     tmp_path += '.';
     tmp_path += std::to_string(sequence.fetch_add(1));
-    util::write_json_file(tmp_path, artifact, /*indent=*/-1);
+    util::write_json_file(tmp_path, wrap_disk_entry(key, artifact),
+                          /*indent=*/-1);
     std::error_code ec;
     std::filesystem::rename(tmp_path, final_path, ec);
     if (ec) std::remove(tmp_path.c_str());

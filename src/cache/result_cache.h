@@ -8,9 +8,11 @@
 // invalidate old entries instead of mis-serving them.
 //
 // Two layers back the store: a bounded in-memory LRU for the hot set, and an
-// optional on-disk artifact directory (one `<key>.json` per result, written
-// atomically via rename) that persists across processes and can be shared by
-// concurrent clktune invocations.  `exec::LocalExecutor` consults the cache
+// optional on-disk artifact directory (one `<key>.json` envelope per result,
+// written atomically via rename) that persists across processes and can be
+// shared by concurrent clktune invocations.  `clktune cache` maintains the
+// disk layer offline — stats, LRU eviction and integrity verification live
+// in cache/maintenance.h.  `exec::LocalExecutor` consults the cache
 // per expanded cell, which is what lets a repeated `clktune sweep` rerun
 // zero scenarios, and `clktune serve` never recomputes a document it has
 // seen.
@@ -46,6 +48,24 @@ struct CacheStats {
 /// Stable across member-order permutations of the same document and across
 /// processes/hosts; changes whenever any field that affects the result does.
 std::string scenario_cache_key(const scenario::ScenarioSpec& spec);
+
+/// The self-describing on-disk entry written for `key`:
+/// {"key":key,"sha256":sha256(canonical artifact),"result":artifact}.
+/// Embedding the key and a content digest is what lets `clktune cache
+/// verify` re-hash every artifact against its key offline (see
+/// cache/maintenance.h); get() unwraps the "result" member, so the served
+/// artifact bytes stay exactly what was stored.
+util::Json wrap_disk_entry(const std::string& key,
+                           const util::Json& artifact);
+
+/// Validates an envelope read back for `key` — embedded key must match,
+/// and the artifact must re-hash to the recorded sha256 — and returns the
+/// artifact.  Throws util::JsonError on any mismatch (or a non-envelope
+/// document, e.g. a legacy bare artifact).  The one definition of entry
+/// integrity: ResultCache::get treats a throw as a miss, `clktune cache
+/// verify` reports it, so runtime and offline checks cannot drift apart.
+util::Json unwrap_disk_entry(const std::string& key,
+                             const util::Json& envelope);
 
 class ResultCache {
  public:

@@ -7,11 +7,15 @@
 //   clktune report --merge <s...>      merge shard summaries into one
 //   clktune serve                      long-running scenario service (TCP)
 //   clktune submit <doc.json>          send a document to a running server
+//   clktune fanout <doc.json>          fan a campaign out over a daemon
+//                                      pool, work-stealing with requeue
+//   clktune cache stats|gc|verify      maintain an on-disk result cache
 //
 // Every command is a thin composition over the clktune::exec layer: build
 // an exec::Request from the document, pick an Executor (local for run and
-// sweep, remote for submit), attach an exec::Observer for progress lines,
-// and print the Outcome's artifact.  docs/exec_api.md describes the API.
+// sweep, remote for submit, fleet::FleetExecutor for fanout), attach an
+// exec::Observer for progress lines, and print the Outcome's artifact.
+// docs/exec_api.md describes the API; docs/fleet.md the fanout flow.
 //
 // Common options:
 //   -o, --output <path>   write the JSON artifact here (default: stdout)
@@ -24,6 +28,16 @@
 //                         lines on stderr (replaces the human lines)
 //       --tolerance <y>   --diff: allowed tuned-yield drop (default 0.005)
 //       --host <h>        submit: server host (default 127.0.0.1)
+//       --daemons <l>     fanout: comma-separated host:port pool
+//       --fleet <f.json>  fanout: JSON fleet file (daemons + weights);
+//                         combines with --daemons
+//       --retries <n>     fanout: re-dispatches per work unit (default 3)
+//       --unit <n>        fanout: expansion cells per work unit (default 1)
+//       --connect-timeout <ms>  submit/fanout: daemon connect deadline
+//                         (default 5000; 0 blocks forever)
+//       --io-timeout <ms> submit/fanout: response-stream stall deadline
+//                         (default 0 = none; must exceed the slowest cell)
+//       --max-bytes <n>   cache gc: evict oldest entries beyond this size
 //   -p, --port <n>        serve/submit: TCP port (default 20160; serve: 0
 //                         picks an ephemeral port and prints it)
 //       --timings         include wall-clock fields (artifact is then no
@@ -42,9 +56,12 @@
 #include <string>
 #include <vector>
 
+#include "cache/maintenance.h"
 #include "cache/result_cache.h"
 #include "core/report.h"
 #include "exec/local_executor.h"
+#include "fleet/fleet_executor.h"
+#include "fleet/fleet_spec.h"
 #include "exec/merge.h"
 #include "exec/observer.h"
 #include "exec/remote_executor.h"
@@ -68,10 +85,18 @@ struct Options {
   std::string output;
   std::string cache_dir;
   std::string host = "127.0.0.1";
+  std::string daemons;     ///< fanout: comma-separated host:port list
+  std::string fleet_file;  ///< fanout: JSON fleet file
   int port = -1;  ///< -1 = command default
   int threads = 0;
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  std::size_t retries = 3;
+  std::size_t unit_cells = 1;
+  int connect_timeout_ms = 5000;
+  int io_timeout_ms = 0;
+  std::uint64_t max_bytes = 0;
+  bool max_bytes_set = false;
   double tolerance = 0.005;
   bool diff = false;
   bool merge = false;
@@ -93,6 +118,8 @@ void print_usage(std::FILE* to) {
       "  report --merge <s...>   merge disjoint shard summaries into one\n"
       "  serve                   run the scenario service (TCP, NDJSON)\n"
       "  submit <doc.json>       send a scenario/campaign to a server\n"
+      "  fanout <doc.json>       work-stealing dispatch over a daemon pool\n"
+      "  cache stats|gc|verify   maintain an on-disk result cache\n"
       "\n"
       "options:\n"
       "  -o, --output <path>     write the JSON artifact to <path>\n"
@@ -102,11 +129,29 @@ void print_usage(std::FILE* to) {
       "      --progress          per-cell NDJSON progress lines on stderr\n"
       "      --tolerance <y>     allowed tuned-yield drop for --diff\n"
       "      --host <h>          server host for submit\n"
+      "      --daemons <list>    fanout pool as host:port,host:port,...\n"
+      "      --fleet <f.json>    fanout pool from a JSON fleet file\n"
+      "      --retries <n>       fanout re-dispatches per unit (default 3)\n"
+      "      --unit <n>          fanout cells per work unit (default 1)\n"
+      "      --connect-timeout <ms>  daemon connect deadline (default 5000)\n"
+      "      --io-timeout <ms>   response stall deadline (default 0 = none)\n"
+      "      --max-bytes <n>     cache gc size cap in bytes\n"
       "  -p, --port <n>          server port (default 20160)\n"
       "      --timings           include wall-clock fields in artifacts\n"
       "      --compact           single-line JSON output\n"
       "      --quiet             no progress lines on stderr\n",
       to);
+}
+
+/// Strict deadline parse: a half-parsed "10s" must not silently become
+/// 10 ms, nor "abc" become 0 — which this CLI defines as "no deadline".
+bool parse_timeout_ms(const char* text, int& out) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0 || value > 86400000)
+    return false;
+  out = static_cast<int>(value);
+  return true;
 }
 
 bool parse_shard(const std::string& text, Options& opt) {
@@ -146,6 +191,49 @@ int parse_options(int argc, char** argv, Options& opt) {
       opt.tolerance = std::atof(argv[++i]);
     } else if (arg == "--host" && i + 1 < argc) {
       opt.host = argv[++i];
+    } else if (arg == "--daemons" && i + 1 < argc) {
+      opt.daemons = argv[++i];
+    } else if (arg == "--fleet" && i + 1 < argc) {
+      opt.fleet_file = argv[++i];
+    } else if (arg == "--retries" && i + 1 < argc) {
+      const long retries = std::atol(argv[++i]);
+      if (retries < 0) {
+        // A negative cast to size_t would mean "retry forever" and
+        // defeat the fleet's bounded-retry guarantee.
+        std::fprintf(stderr, "clktune: --retries wants >= 0\n");
+        return 1;
+      }
+      opt.retries = static_cast<std::size_t>(retries);
+    } else if (arg == "--unit" && i + 1 < argc) {
+      const long unit = std::atol(argv[++i]);
+      if (unit <= 0) {
+        std::fprintf(stderr, "clktune: --unit wants a positive cell count\n");
+        return 1;
+      }
+      opt.unit_cells = static_cast<std::size_t>(unit);
+    } else if (arg == "--connect-timeout" && i + 1 < argc) {
+      if (!parse_timeout_ms(argv[++i], opt.connect_timeout_ms)) {
+        std::fprintf(stderr,
+                     "clktune: --connect-timeout wants milliseconds\n");
+        return 1;
+      }
+    } else if (arg == "--io-timeout" && i + 1 < argc) {
+      if (!parse_timeout_ms(argv[++i], opt.io_timeout_ms)) {
+        std::fprintf(stderr, "clktune: --io-timeout wants milliseconds\n");
+        return 1;
+      }
+    } else if (arg == "--max-bytes" && i + 1 < argc) {
+      // gc is destructive: a half-parsed "2GB" silently becoming 2 bytes
+      // would wipe the cache, so the value must be a plain byte count.
+      const char* text = argv[++i];
+      char* end = nullptr;
+      opt.max_bytes = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "clktune: --max-bytes wants a plain byte count\n");
+        return 1;
+      }
+      opt.max_bytes_set = true;
     } else if ((arg == "-p" || arg == "--port") && i + 1 < argc) {
       opt.port = std::atoi(argv[++i]);
       if (opt.port < 0 || opt.port > 65535) {
@@ -330,7 +418,10 @@ int cmd_submit(const Options& opt) {
   request.shard_count = opt.shard_count;
   const std::uint16_t port =
       opt.port < 0 ? kDefaultPort : static_cast<std::uint16_t>(opt.port);
-  clktune::exec::RemoteExecutor executor(opt.host, port);
+  clktune::serve::SubmitOptions timeouts;
+  timeouts.connect_timeout_ms = opt.connect_timeout_ms;
+  timeouts.io_timeout_ms = opt.io_timeout_ms;
+  clktune::exec::RemoteExecutor executor(opt.host, port, timeouts);
   CliObserver observer(opt);
   const clktune::exec::Outcome outcome = executor.execute(request, &observer);
 
@@ -347,6 +438,118 @@ int cmd_submit(const Options& opt) {
     emit(opt, outcome.result.to_json());
   }
   return outcome.ok() ? 0 : 3;
+}
+
+int cmd_fanout(const Options& opt) {
+  if (opt.daemons.empty() && opt.fleet_file.empty()) {
+    std::fprintf(stderr,
+                 "clktune: fanout needs --daemons and/or --fleet\n");
+    print_usage(stderr);
+    return 1;
+  }
+  clktune::fleet::FleetSpec pool;
+  if (!opt.fleet_file.empty())
+    pool = clktune::fleet::FleetSpec::from_file(opt.fleet_file);
+  if (!opt.daemons.empty())
+    pool.merge(clktune::fleet::FleetSpec::parse_daemon_list(opt.daemons));
+
+  clktune::fleet::FleetOptions fleet_options;
+  fleet_options.unit_cells = opt.unit_cells;
+  fleet_options.max_retries = opt.retries;
+  fleet_options.connect_timeout_ms = opt.connect_timeout_ms;
+  fleet_options.io_timeout_ms = opt.io_timeout_ms;
+
+  const Json doc = clktune::util::read_json_file(opt.inputs[0]);
+  clktune::exec::Request request = clktune::exec::Request::from_json(doc);
+  if (!opt.quiet && !opt.progress &&
+      request.kind == clktune::exec::Request::Kind::campaign)
+    std::fprintf(stderr,
+                 "clktune: campaign %s, %zu scenarios over %zu daemons\n",
+                 request.campaign.name.c_str(), request.expansion_size(),
+                 pool.members.size());
+
+  clktune::fleet::FleetExecutor executor(std::move(pool), fleet_options);
+  CliObserver observer(opt);
+  const clktune::exec::Outcome outcome = executor.execute(request, &observer);
+  emit(opt, outcome.artifact(opt.timings));
+  if (!opt.quiet && !opt.progress)
+    std::fprintf(stderr,
+                 "clktune: %llu scenarios (%llu from daemon caches), %llu"
+                 " missed target  (%.1f s)\n",
+                 static_cast<unsigned long long>(outcome.scenarios_run),
+                 static_cast<unsigned long long>(outcome.scenarios_cached),
+                 static_cast<unsigned long long>(outcome.targets_missed),
+                 outcome.seconds);
+  return outcome.ok() ? 0 : 3;
+}
+
+int cmd_cache(const Options& opt) {
+  if (opt.inputs.size() != 1 ||
+      (opt.inputs[0] != "stats" && opt.inputs[0] != "gc" &&
+       opt.inputs[0] != "verify")) {
+    std::fprintf(stderr, "clktune: cache expects stats, gc or verify\n");
+    print_usage(stderr);
+    return 1;
+  }
+  if (opt.cache_dir.empty()) {
+    std::fprintf(stderr, "clktune: cache needs --cache-dir\n");
+    return 1;
+  }
+  const std::string& verb = opt.inputs[0];
+
+  if (verb == "stats") {
+    const clktune::cache::DiskCacheStats stats =
+        clktune::cache::disk_cache_stats(opt.cache_dir);
+    Json artifact = Json::object();
+    artifact.set("entries", stats.entries);
+    artifact.set("bytes", stats.bytes);
+    emit(opt, artifact);
+    return 0;
+  }
+
+  if (verb == "gc") {
+    if (!opt.max_bytes_set) {
+      std::fprintf(stderr, "clktune: cache gc needs --max-bytes\n");
+      return 1;
+    }
+    const clktune::cache::GcReport report =
+        clktune::cache::gc_cache_dir(opt.cache_dir, opt.max_bytes);
+    Json artifact = Json::object();
+    artifact.set("scanned", report.scanned);
+    artifact.set("removed", report.removed);
+    artifact.set("removed_bytes", report.removed_bytes);
+    artifact.set("kept", report.kept);
+    artifact.set("kept_bytes", report.kept_bytes);
+    artifact.set("temp_files_removed", report.temp_files_removed);
+    emit(opt, artifact);
+    if (!opt.quiet)
+      std::fprintf(stderr,
+                   "clktune: evicted %llu of %llu entries (%llu bytes"
+                   " freed)\n",
+                   static_cast<unsigned long long>(report.removed),
+                   static_cast<unsigned long long>(report.scanned),
+                   static_cast<unsigned long long>(report.removed_bytes));
+    return 0;
+  }
+
+  const clktune::cache::VerifyReport report =
+      clktune::cache::verify_cache_dir(opt.cache_dir);
+  Json issues = Json::array();
+  for (const clktune::cache::VerifyIssue& issue : report.issues) {
+    Json entry = Json::object();
+    entry.set("file", issue.file);
+    entry.set("what", issue.what);
+    issues.push_back(std::move(entry));
+  }
+  Json artifact = Json::object();
+  artifact.set("checked", report.checked);
+  artifact.set("issues", std::move(issues));
+  emit(opt, artifact);
+  if (!opt.quiet)
+    std::fprintf(stderr, "clktune: %llu entries checked, %zu issue(s)\n",
+                 static_cast<unsigned long long>(report.checked),
+                 report.issues.size());
+  return report.ok() ? 0 : 3;
 }
 
 /// Rebuilds a TableRow from a serialised scenario-result object.
@@ -484,6 +687,9 @@ int main(int argc, char** argv) {
       return expect_inputs(opt, 0) ? cmd_serve(opt) : 1;
     if (opt.command == "submit")
       return expect_inputs(opt, 1) ? cmd_submit(opt) : 1;
+    if (opt.command == "fanout")
+      return expect_inputs(opt, 1) ? cmd_fanout(opt) : 1;
+    if (opt.command == "cache") return cmd_cache(opt);
     std::fprintf(stderr, "clktune: unknown command '%s'\n",
                  opt.command.c_str());
     print_usage(stderr);

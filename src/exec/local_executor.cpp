@@ -66,14 +66,18 @@ Outcome execute_campaign(const Request& request, Observer* observer) {
   const util::Stopwatch timer;
   const std::vector<scenario::ScenarioSpec> all = request.campaign.expand();
 
-  // The expansion index is the unit of determinism, so a round-robin slice
-  // of it partitions a campaign across processes/hosts without
-  // coordination.
+  // The expansion index is the unit of determinism, so any selection of it
+  // partitions a campaign across processes/hosts without coordination: an
+  // explicit index list (fleet work units) or a round-robin shard slice.
   std::vector<std::size_t> selected;
-  selected.reserve(all.size() / request.shard_count + 1);
-  for (std::size_t i = request.shard_index; i < all.size();
-       i += request.shard_count)
-    selected.push_back(i);
+  if (!request.indices.empty()) {
+    selected = request.indices;
+  } else {
+    selected.reserve(all.size() / request.shard_count + 1);
+    for (std::size_t i = request.shard_index; i < all.size();
+         i += request.shard_count)
+      selected.push_back(i);
+  }
 
   if (observer != nullptr) observer->on_begin(all.size(), selected.size());
 
@@ -117,15 +121,7 @@ Outcome execute_campaign(const Request& request, Observer* observer) {
   summary.recount();
   for (const char flag : cached) summary.scenarios_cached += flag;
   summary.total_seconds = timer.seconds();
-
-  Outcome outcome;
-  outcome.kind = Request::Kind::campaign;
-  outcome.scenarios_run = summary.scenarios_run;
-  outcome.scenarios_cached = summary.scenarios_cached;
-  outcome.targets_missed = summary.targets_missed;
-  outcome.seconds = summary.total_seconds;
-  outcome.summary = std::move(summary);
-  return outcome;
+  return Outcome::from_summary(std::move(summary), {});
 }
 
 }  // namespace

@@ -35,6 +35,12 @@ Outcome RemoteExecutor::execute(const Request& request, Observer* observer) {
     shard.set("count", static_cast<std::uint64_t>(request.shard_count));
     wire.set("shard", std::move(shard));
   }
+  if (!request.indices.empty()) {
+    Json indices = Json::array();
+    for (const std::size_t index : request.indices)
+      indices.push_back(static_cast<std::uint64_t>(index));
+    wire.set("indices", std::move(indices));
+  }
 
   if (observer != nullptr)
     observer->on_begin(request.expansion_size(), request.shard_cells());
@@ -43,7 +49,8 @@ Outcome RemoteExecutor::execute(const Request& request, Observer* observer) {
   serve::SubmitOutcome stream;
   try {
     stream = serve::submit_raw(
-        host_, port_, wire, [&](const Json& event) {
+        host_, port_, wire,
+        [&](const Json& event) {
           if (event.at("event").as_string() != "result") return;
           if (observer != nullptr && observer->cancelled())
             throw CancelledError("exec: remote stream cancelled");
@@ -58,7 +65,8 @@ Outcome RemoteExecutor::execute(const Request& request, Observer* observer) {
             observer->on_cell(forwarded);
           }
           cells.push_back(std::move(cell));
-        });
+        },
+        timeouts_);
   } catch (const CancelledError&) {
     throw;
   } catch (const util::JsonError&) {
@@ -81,58 +89,55 @@ Outcome RemoteExecutor::execute(const Request& request, Observer* observer) {
               return a.index < b.index;
             });
 
-  // The daemon must have honoured the shard slice: exactly the requested
-  // number of cells, all congruent to it, none duplicated.  A daemon that
-  // ignored the "shard" member would otherwise corrupt a downstream merge
-  // silently instead of failing here.
+  // The daemon must have honoured the selection — shard slice or explicit
+  // index list: exactly the requested cells, none duplicated.  A daemon
+  // that ignored the "shard" / "indices" member would otherwise corrupt a
+  // downstream merge silently instead of failing here.
   if (request.kind == Request::Kind::campaign) {
     if (cells.size() != request.shard_cells())
       throw ExecError(name() + ": server sent " +
                       std::to_string(cells.size()) + " cells, expected " +
                       std::to_string(request.shard_cells()));
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      if (cells[i].index % request.shard_count != request.shard_index ||
-          (i > 0 && cells[i].index == cells[i - 1].index))
+      const bool belongs =
+          request.indices.empty()
+              ? cells[i].index % request.shard_count == request.shard_index
+              : cells[i].index == request.indices[i];
+      if (!belongs || (i > 0 && cells[i].index == cells[i - 1].index))
         throw ExecError(name() + ": cell index " +
                         std::to_string(cells[i].index) +
-                        " does not belong to shard " +
-                        std::to_string(request.shard_index) + "/" +
-                        std::to_string(request.shard_count));
+                        " does not belong to the requested " +
+                        (request.indices.empty() ? "shard slice"
+                                                 : "index list"));
     }
   }
 
-  Outcome outcome;
-  outcome.kind = request.kind;
   if (request.kind == Request::Kind::scenario) {
     if (cells.size() != 1)
       throw ExecError(name() + ": server sent no result");
+    Outcome outcome;
+    outcome.kind = Request::Kind::scenario;
     outcome.result = std::move(cells.front().result);
+    outcome.scenarios_run = 1;
     outcome.scenarios_cached = cells.front().cached ? 1 : 0;
-  } else {
-    scenario::CampaignSummary summary;
-    summary.name = request.campaign.name;
-    summary.shard_index = request.shard_index;
-    summary.shard_count = request.shard_count;
-    summary.results.reserve(cells.size());
-    for (RemoteCell& cell : cells) {
-      summary.scenarios_cached += cell.cached ? 1 : 0;
-      summary.results.push_back(std::move(cell.result));
-    }
-    summary.recount();
-    summary.total_seconds = timer.seconds();
-    outcome.scenarios_cached = summary.scenarios_cached;
-    outcome.summary = std::move(summary);
+    outcome.targets_missed = outcome.result.met_target ? 0 : 1;
+    outcome.seconds = timer.seconds();
+    outcome.backend = name();
+    return outcome;
   }
-  outcome.scenarios_run =
-      request.kind == Request::Kind::scenario ? 1
-                                              : outcome.summary.scenarios_run;
-  outcome.targets_missed =
-      request.kind == Request::Kind::scenario
-          ? (outcome.result.met_target ? 0 : 1)
-          : outcome.summary.targets_missed;
-  outcome.seconds = timer.seconds();
-  outcome.backend = name();
-  return outcome;
+
+  scenario::CampaignSummary summary;
+  summary.name = request.campaign.name;
+  summary.shard_index = request.shard_index;
+  summary.shard_count = request.shard_count;
+  summary.results.reserve(cells.size());
+  for (RemoteCell& cell : cells) {
+    summary.scenarios_cached += cell.cached ? 1 : 0;
+    summary.results.push_back(std::move(cell.result));
+  }
+  summary.recount();
+  summary.total_seconds = timer.seconds();
+  return Outcome::from_summary(std::move(summary), name());
 }
 
 }  // namespace clktune::exec

@@ -13,18 +13,23 @@
 #include <string>
 
 #include "exec/executor.h"
+#include "serve/client.h"
 
 namespace clktune::exec {
 
 class RemoteExecutor : public Executor {
  public:
-  RemoteExecutor(std::string host, std::uint16_t port)
-      : host_(std::move(host)), port_(port) {}
+  /// `timeouts` bounds the connect attempt and the gap between response
+  /// bytes (0 = block indefinitely); an expired deadline surfaces as an
+  /// ExecError naming the daemon and the timeout instead of a hang.
+  RemoteExecutor(std::string host, std::uint16_t port,
+                 serve::SubmitOptions timeouts = {})
+      : host_(std::move(host)), port_(port), timeouts_(timeouts) {}
 
   /// Submits the request and streams until the terminal event.  The
   /// request's cache pointer is ignored — the daemon owns its own cache.
   /// Throws ExecError when the daemon reports an error, closes the
-  /// connection early, or cannot be reached.
+  /// connection early, cannot be reached, or misses a deadline.
   Outcome execute(const Request& request,
                   Observer* observer = nullptr) override;
 
@@ -35,6 +40,7 @@ class RemoteExecutor : public Executor {
  private:
   std::string host_;
   std::uint16_t port_;
+  serve::SubmitOptions timeouts_;
 };
 
 }  // namespace clktune::exec

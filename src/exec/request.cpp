@@ -35,6 +35,7 @@ std::size_t Request::expansion_size() const {
 }
 
 std::size_t Request::shard_cells() const {
+  if (!indices.empty()) return indices.size();
   return shard_cell_count(expansion_size(), shard_index, shard_count);
 }
 
@@ -43,11 +44,39 @@ void Request::validate() const {
     throw ExecError("exec: shard index must satisfy 0 <= i < n");
   if (kind == Kind::scenario && shard_count != 1)
     throw ExecError("exec: a scenario request cannot be sharded");
+  if (indices.empty()) return;
+  if (kind == Kind::scenario)
+    throw ExecError("exec: a scenario request cannot carry indices");
+  if (shard_count != 1)
+    throw ExecError("exec: indices and a shard slice are mutually"
+                    " exclusive");
+  const std::size_t total = expansion_size();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= total)
+      throw ExecError("exec: index " + std::to_string(indices[i]) +
+                      " out of range for a " + std::to_string(total) +
+                      "-cell campaign");
+    if (i > 0 && indices[i] <= indices[i - 1])
+      throw ExecError("exec: indices must be strictly increasing");
+  }
 }
 
 Json Outcome::artifact(bool include_timing) const {
   return kind == Request::Kind::scenario ? result.to_json(include_timing)
                                          : summary.to_json(include_timing);
+}
+
+Outcome Outcome::from_summary(scenario::CampaignSummary summary,
+                              std::string backend) {
+  Outcome outcome;
+  outcome.kind = Request::Kind::campaign;
+  outcome.backend = std::move(backend);
+  outcome.scenarios_run = summary.scenarios_run;
+  outcome.scenarios_cached = summary.scenarios_cached;
+  outcome.targets_missed = summary.targets_missed;
+  outcome.seconds = summary.total_seconds;
+  outcome.summary = std::move(summary);
+  return outcome;
 }
 
 }  // namespace clktune::exec

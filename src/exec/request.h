@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
@@ -63,6 +64,14 @@ struct Request {
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
 
+  /// Explicit expansion-index selection (campaign only): when non-empty the
+  /// request runs exactly these global indices — the work-unit form that
+  /// fleet dispatch feeds to daemons, strictly increasing, in range, and
+  /// mutually exclusive with a shard slice.  The resulting summary is a
+  /// partial (its cells cover just these indices); callers reassemble the
+  /// full campaign from the streamed per-cell events, not from it.
+  std::vector<std::size_t> indices;
+
   static Request for_scenario(scenario::ScenarioSpec spec);
   static Request for_campaign(scenario::CampaignSpec spec);
 
@@ -77,10 +86,13 @@ struct Request {
   /// Number of cells the request expands to (1 for a scenario).
   std::size_t expansion_size() const;
 
-  /// Number of cells the shard slice of this request covers.
+  /// Number of cells this request's selection covers: the explicit index
+  /// list when present, the shard slice otherwise.
   std::size_t shard_cells() const;
 
-  /// Throws ExecError on out-of-range shard bounds (or a sharded scenario).
+  /// Throws ExecError on out-of-range shard bounds (or a sharded
+  /// scenario), and on an explicit index list that is non-campaign,
+  /// combined with a shard slice, out of range or not strictly increasing.
   void validate() const;
 };
 
@@ -105,6 +117,13 @@ struct Outcome {
   /// result or the campaign summary, timing-free (deterministic) unless
   /// `include_timing`.
   util::Json artifact(bool include_timing = false) const;
+
+  /// Builds a campaign outcome from its finished summary, deriving every
+  /// diagnostic counter — the one place backends map a summary onto an
+  /// Outcome, so a new diagnostic field cannot be copied in some
+  /// backends and forgotten in others.
+  static Outcome from_summary(scenario::CampaignSummary summary,
+                              std::string backend);
 };
 
 }  // namespace clktune::exec

@@ -28,6 +28,8 @@ Outcome ShardedExecutor::execute(const Request& request, Observer* observer) {
   request.validate();
   if (request.shard_count != 1)
     throw ExecError("sharded: request already carries a shard slice");
+  if (!request.indices.empty())
+    throw ExecError("sharded: request already carries an index selection");
   if (request.kind == Request::Kind::scenario)
     return children_.front()->execute(request, observer);
 
@@ -92,16 +94,9 @@ Outcome ShardedExecutor::execute(const Request& request, Observer* observer) {
   }
   if (primary) std::rethrow_exception(primary);
 
-  Outcome outcome;
-  outcome.kind = Request::Kind::campaign;
-  outcome.summary = merge_shard_summaries(shards);
-  outcome.summary.total_seconds = timer.seconds();
-  outcome.scenarios_run = outcome.summary.scenarios_run;
-  outcome.scenarios_cached = outcome.summary.scenarios_cached;
-  outcome.targets_missed = outcome.summary.targets_missed;
-  outcome.seconds = outcome.summary.total_seconds;
-  outcome.backend = name();
-  return outcome;
+  scenario::CampaignSummary merged = merge_shard_summaries(shards);
+  merged.total_seconds = timer.seconds();
+  return Outcome::from_summary(std::move(merged), name());
 }
 
 }  // namespace clktune::exec

@@ -1,0 +1,481 @@
+#include "fleet/fleet_executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/remote_executor.h"
+#include "serve/client.h"
+#include "util/timer.h"
+
+namespace clktune::fleet {
+
+using exec::CancelledError;
+using exec::ExecError;
+using util::Json;
+
+namespace {
+
+/// A slice of the campaign expansion owed to the fleet.  `remaining`
+/// shrinks as dispatches stream cells back — a unit that lost its daemon
+/// halfway is requeued with only the cells still missing, because cells
+/// are deterministic and partial progress counts.
+struct WorkUnit {
+  std::size_t id = 0;
+  std::vector<std::size_t> remaining;
+  std::size_t attempts = 0;     ///< failed dispatches so far
+  std::size_t busy_streak = 0;  ///< consecutive busy rejections
+  std::string last_error;
+};
+
+/// Every 8th consecutive busy rejection of one unit costs a retry
+/// attempt, so a pool that stays saturated indefinitely eventually fails
+/// the campaign with a diagnostic instead of spinning forever.
+constexpr std::size_t kBusyPerAttempt = 8;
+
+serve::SubmitOptions timeouts_of(const FleetOptions& options) {
+  serve::SubmitOptions timeouts;
+  timeouts.connect_timeout_ms = options.connect_timeout_ms;
+  timeouts.io_timeout_ms = options.io_timeout_ms;
+  return timeouts;
+}
+
+/// One campaign's shared dispatch state: the work queue, the recorded
+/// cells, the liveness of every pool member and the terminal flags.  The
+/// per-daemon dispatcher threads all drain the same queue — that is the
+/// whole work-stealing scheme.
+class CampaignDispatch {
+ public:
+  CampaignDispatch(const FleetSpec& spec, const FleetOptions& options,
+                   const std::vector<std::size_t>& healthy,
+                   const exec::Request& request, exec::Observer* observer)
+      : spec_(spec),
+        options_(options),
+        healthy_(healthy),
+        request_(request),
+        observer_(observer),
+        document_(request.document()),
+        total_cells_(request.expansion_size()),
+        cells_(total_cells_),
+        member_dead_(spec.members.size()) {}
+
+  scenario::CampaignSummary run() {
+    if (observer_ != nullptr) observer_->on_begin(total_cells_, total_cells_);
+
+    const std::size_t unit_cells =
+        options_.unit_cells == 0 ? 1 : options_.unit_cells;
+    for (std::size_t begin = 0; begin < total_cells_; begin += unit_cells) {
+      WorkUnit unit;
+      unit.id = pending_.size();
+      for (std::size_t i = begin;
+           i < begin + unit_cells && i < total_cells_; ++i)
+        unit.remaining.push_back(i);
+      pending_.push_back(std::move(unit));
+    }
+    outstanding_ = pending_.size();
+    alive_members_ = healthy_.size();
+
+    std::vector<std::thread> dispatchers;
+    if (outstanding_ > 0) {
+      for (const std::size_t member_id : healthy_)
+        for (std::size_t w = 0; w < spec_.members[member_id].weight; ++w)
+          dispatchers.emplace_back([this, member_id] { worker(member_id); });
+    }
+    for (std::thread& dispatcher : dispatchers) dispatcher.join();
+
+    if (cancelled_)
+      throw CancelledError("fleet: campaign cancelled by the observer");
+    if (failed_) throw ExecError(failure_);
+
+    scenario::CampaignSummary summary;
+    summary.name = request_.campaign.name;
+    summary.results.reserve(total_cells_);
+    for (std::size_t i = 0; i < total_cells_; ++i) {
+      if (cells_[i].result == nullptr)
+        throw ExecError("fleet: internal error: cell " + std::to_string(i) +
+                        " never arrived");
+      summary.scenarios_cached += cells_[i].cached ? 1 : 0;
+      summary.results.push_back(std::move(*cells_[i].result));
+    }
+    summary.recount();
+    return summary;
+  }
+
+ private:
+  struct CellSlot {
+    std::unique_ptr<scenario::ScenarioResult> result;
+    bool cached = false;
+  };
+
+  void worker(std::size_t member_id) {
+    for (;;) {
+      WorkUnit unit;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [this] {
+          return failed_ || cancelled_ || outstanding_ == 0 ||
+                 !pending_.empty();
+        });
+        if (failed_ || cancelled_ || outstanding_ == 0) return;
+        if (member_dead_[member_id].load()) return;  // sibling saw it die
+        if (observer_ != nullptr && observer_->cancelled()) {
+          cancelled_ = true;
+          ready_.notify_all();
+          return;
+        }
+        unit = std::move(pending_.front());
+        pending_.pop_front();
+      }
+      if (dispatch_unit(member_id, std::move(unit))) return;
+    }
+  }
+
+  /// One dispatch of one unit to one daemon; returns true when this
+  /// dispatcher must exit (its daemon died, the campaign failed or was
+  /// cancelled).  Deliberately speaks the wire protocol itself instead of
+  /// wrapping exec::RemoteExecutor: requeue needs the cells a dying
+  /// daemon streamed before the failure (RemoteExecutor's contract is
+  /// all-or-nothing) and the busy/dead distinction needs the terminal
+  /// frame's "code", which RemoteExecutor folds into an exception string.
+  bool dispatch_unit(std::size_t member_id, WorkUnit unit) {
+    const FleetMember& member = spec_.members[member_id];
+    Json wire = Json::object();
+    wire.set("cmd", "sweep");
+    wire.set("doc", document_);
+    Json indices = Json::array();
+    for (const std::size_t index : unit.remaining)
+      indices.push_back(static_cast<std::uint64_t>(index));
+    wire.set("indices", std::move(indices));
+
+    serve::SubmitOutcome stream;
+    std::string error;
+    bool transport_failure = false;
+    try {
+      stream = serve::submit_raw(
+          member.host, member.port, wire,
+          [&](const Json& event) { on_stream_event(event); },
+          timeouts_of(options_));
+    } catch (const CancelledError&) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      cancelled_ = true;
+      ready_.notify_all();
+      return true;
+    } catch (const std::exception& e) {
+      // Connect refusal/timeout, a stalled read, a garbled response
+      // line: the daemon is unusable.
+      transport_failure = true;
+      error = e.what();
+    }
+    // A stream that ended without any terminal frame is a clean EOF from
+    // a dying daemon — every bit as dead as a reset: retire it, or its
+    // own worker would redispatch the unit straight back at the corpse
+    // and burn the bounded attempts on a single failure.
+    if (!transport_failure &&
+        stream.final_event.find("event") == nullptr) {
+      transport_failure = true;
+      error = "connection closed mid-unit";
+    }
+
+    bool busy = false;
+    bool exit_worker = false;
+    std::size_t busy_backoff = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      std::vector<std::size_t> missing;
+      for (const std::size_t index : unit.remaining)
+        if (cells_[index].result == nullptr) missing.push_back(index);
+
+      if (missing.empty()) {
+        // Everything owed arrived — even a daemon that died between its
+        // last cell and the done frame completed this unit.
+        --outstanding_;
+      } else {
+        if (!transport_failure) {
+          const Json* code = stream.final_event.find("code");
+          busy = code != nullptr && code->is_string() &&
+                 code->as_string() == "busy";
+          const Json* message = stream.final_event.find("message");
+          error = message != nullptr ? message->as_string()
+                                     : "daemon did not deliver the unit";
+        }
+        unit.remaining = std::move(missing);
+        // Backpressure is not a failure: a saturated-but-healthy daemon
+        // must not consume the unit's bounded retry budget, or a briefly
+        // busy pool would hard-fail a campaign no daemon ever dropped.
+        // But a pool that *stays* saturated must not spin forever either,
+        // so a long busy streak slowly bleeds into the attempt count.
+        if (busy) {
+          ++unit.busy_streak;
+          if (unit.busy_streak % kBusyPerAttempt == 0) ++unit.attempts;
+        } else {
+          unit.busy_streak = 0;
+          ++unit.attempts;
+        }
+        busy_backoff = unit.busy_streak;
+        unit.last_error = member.endpoint() + ": " + error;
+        if (unit.attempts > options_.max_retries) {
+          failed_ = true;
+          failure_ = "fleet: work unit " + std::to_string(unit.id) +
+                     " (cell " + std::to_string(unit.remaining.front()) +
+                     (unit.remaining.size() > 1 ? "…" : "") +
+                     ") failed after " + std::to_string(unit.attempts) +
+                     " dispatches; last: " + unit.last_error;
+          exit_worker = true;
+        } else {
+          pending_.push_back(std::move(unit));
+        }
+      }
+    }
+    ready_.notify_all();
+
+    if (transport_failure) {
+      retire_member(member_id);
+      return true;
+    }
+    if (busy) {
+      // The daemon is alive but saturated; an escalating pause (capped)
+      // keeps the retry from hot-looping against its admission queue.
+      const std::size_t shift = busy_backoff < 6 ? busy_backoff : 6;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(20 << shift));
+    }
+    return exit_worker;
+  }
+
+  void on_stream_event(const Json& event) {
+    if (event.at("event").as_string() != "result") return;
+    if (observer_ != nullptr && observer_->cancelled())
+      throw CancelledError("fleet: stream cancelled");
+    const std::size_t index = event.at("index").as_uint();
+    auto result = std::make_unique<scenario::ScenarioResult>(
+        scenario::ScenarioResult::from_json(event.at("result")));
+    const bool cached = event.at("cached").as_bool();
+    const scenario::ScenarioResult* recorded = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (index >= cells_.size())
+        throw ExecError("fleet: daemon sent out-of-range cell index " +
+                        std::to_string(index));
+      if (cells_[index].result == nullptr) {
+        cells_[index].result = std::move(result);
+        cells_[index].cached = cached;
+        recorded = cells_[index].result.get();
+      }
+    }
+    // Forward outside the lock: the slot is write-once and the vector
+    // never reallocates, so the pointer stays valid.  A duplicate (a
+    // requeued unit whose first owner already streamed this cell) is
+    // dropped so the observer sees every index exactly once.
+    if (recorded != nullptr && observer_ != nullptr) {
+      exec::CellEvent forwarded{index, *recorded, cached,
+                                cached ? 0.0 : recorded->seconds};
+      observer_->on_cell(forwarded);
+    }
+  }
+
+  /// Marks a daemon dead (once) and fails the campaign when it was the
+  /// last one standing with work still unfinished.
+  void retire_member(std::size_t member_id) {
+    if (member_dead_[member_id].exchange(true)) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --alive_members_;
+    if (alive_members_ == 0 && outstanding_ > 0 && !failed_ && !cancelled_) {
+      failure_ = "fleet: all " + std::to_string(healthy_.size()) +
+                 " daemons lost with " + std::to_string(outstanding_) +
+                 " work units unfinished";
+      std::size_t shown = 0;
+      for (const WorkUnit& unit : pending_) {
+        if (unit.last_error.empty()) continue;
+        failure_ += (shown == 0 ? "; last errors: " : " | ") +
+                    unit.last_error;
+        if (++shown == 3) break;
+      }
+      failed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  const FleetSpec& spec_;
+  const FleetOptions& options_;
+  const std::vector<std::size_t>& healthy_;
+  const exec::Request& request_;
+  exec::Observer* observer_;
+  const Json document_;
+  const std::size_t total_cells_;
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<WorkUnit> pending_;
+  std::size_t outstanding_ = 0;  ///< units not yet fully delivered
+  std::size_t alive_members_ = 0;
+  std::vector<CellSlot> cells_;
+  std::vector<std::atomic<bool>> member_dead_;
+  bool failed_ = false;
+  bool cancelled_ = false;
+  std::string failure_;
+};
+
+/// Scenario failover: suppresses the child RemoteExecutor's own on_begin
+/// (the fleet already announced the run) and deduplicates on_cell across
+/// retry attempts, so the caller's observer sees the contract events
+/// exactly once.
+class OnceObserver : public exec::Observer {
+ public:
+  explicit OnceObserver(exec::Observer* target) : target_(target) {}
+
+  void on_begin(std::size_t, std::size_t) override {}
+  void on_cell(const exec::CellEvent& event) override {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (cell_seen_) return;
+      cell_seen_ = true;
+    }
+    if (target_ != nullptr) target_->on_cell(event);
+  }
+  bool cancelled() override {
+    return target_ != nullptr && target_->cancelled();
+  }
+
+ private:
+  exec::Observer* target_;
+  std::mutex mutex_;
+  bool cell_seen_ = false;
+};
+
+}  // namespace
+
+FleetExecutor::FleetExecutor(FleetSpec spec, FleetOptions options)
+    : spec_(std::move(spec)), options_(options) {
+  if (spec_.members.empty())
+    throw ExecError("fleet: needs at least one daemon");
+}
+
+exec::Outcome FleetExecutor::execute(const exec::Request& request,
+                                     exec::Observer* observer) {
+  request.validate();
+  if (request.shard_count != 1 || !request.indices.empty())
+    throw ExecError("fleet: request already carries a selection");
+  const util::Stopwatch timer;
+
+  // Health probe: a status round trip per daemon, in parallel (dead hosts
+  // each cost one connect timeout).  Dispatch would discover deaths on its
+  // own; probing just retires them before any unit is wasted on one.
+  std::vector<std::size_t> healthy;
+  std::vector<std::string> down;
+  if (options_.probe) {
+    std::vector<char> alive(spec_.members.size(), 0);
+    std::vector<std::string> probe_errors(spec_.members.size());
+    std::vector<std::thread> probes;
+    probes.reserve(spec_.members.size());
+    // A status probe answers instantly by design, so it always gets a
+    // bounded read deadline — unlike units, where a computing daemon is
+    // legitimately silent.  Otherwise one wedged-but-accepting daemon
+    // would hang the whole fanout at the probe join.
+    serve::SubmitOptions probe_timeouts = timeouts_of(options_);
+    if (probe_timeouts.io_timeout_ms <= 0)
+      probe_timeouts.io_timeout_ms = probe_timeouts.connect_timeout_ms > 0
+                                         ? probe_timeouts.connect_timeout_ms
+                                         : 5000;
+    for (std::size_t m = 0; m < spec_.members.size(); ++m) {
+      probes.emplace_back([this, m, &alive, &probe_errors, &probe_timeouts] {
+        Json status = Json::object();
+        status.set("cmd", "status");
+        try {
+          const serve::SubmitOutcome outcome =
+              serve::submit_raw(spec_.members[m].host, spec_.members[m].port,
+                                status, {}, probe_timeouts);
+          const Json* event = outcome.final_event.find("event");
+          const Json* code = outcome.final_event.find("code");
+          if (event != nullptr && event->as_string() == "status") {
+            alive[m] = 1;
+          } else if (code != nullptr && code->is_string() &&
+                     code->as_string() == "busy") {
+            // Backpressure means alive-but-saturated, never dead —
+            // dispatch already knows how to back off against it.
+            alive[m] = 1;
+          } else {
+            const Json* message = outcome.final_event.find("message");
+            probe_errors[m] = message != nullptr ? message->as_string()
+                                                 : "no status response";
+          }
+        } catch (const std::exception& e) {
+          probe_errors[m] = e.what();
+        }
+      });
+    }
+    for (std::thread& probe : probes) probe.join();
+    for (std::size_t m = 0; m < spec_.members.size(); ++m) {
+      if (alive[m])
+        healthy.push_back(m);
+      else
+        down.push_back(spec_.members[m].endpoint() + ": " + probe_errors[m]);
+    }
+    // A probe timeout is ambiguous: the daemon may just be saturated with
+    // long cells (its handlers busy, the probe parked in the admission
+    // queue).  When *everything* timed out, fall back to dispatching at
+    // the timed-out members and let dispatch decide — only a pool of
+    // positively-refused daemons fails fast here.
+    if (healthy.empty()) {
+      for (std::size_t m = 0; m < spec_.members.size(); ++m)
+        if (!alive[m] &&
+            probe_errors[m].find("timed out") != std::string::npos)
+          healthy.push_back(m);
+    }
+  } else {
+    for (std::size_t m = 0; m < spec_.members.size(); ++m)
+      healthy.push_back(m);
+  }
+  if (healthy.empty()) {
+    std::string what = "fleet: no healthy daemon in the pool";
+    for (const std::string& reason : down) what += "; " + reason;
+    throw ExecError(what);
+  }
+
+  if (request.kind == exec::Request::Kind::scenario) {
+    if (observer != nullptr) {
+      observer->on_begin(1, 1);
+      if (observer->cancelled())
+        throw CancelledError("fleet: cancelled before the scenario started");
+    }
+    OnceObserver once(observer);
+    std::string diagnostics;
+    for (std::size_t attempt = 0; attempt <= options_.max_retries;
+         ++attempt) {
+      const FleetMember& member =
+          spec_.members[healthy[attempt % healthy.size()]];
+      exec::RemoteExecutor remote(member.host, member.port,
+                                  timeouts_of(options_));
+      try {
+        exec::Outcome outcome = remote.execute(request, &once);
+        outcome.backend = name();
+        outcome.seconds = timer.seconds();
+        return outcome;
+      } catch (const CancelledError&) {
+        throw;
+      } catch (const std::exception& e) {
+        diagnostics += (diagnostics.empty() ? "" : " | ");
+        diagnostics += e.what();
+      }
+      // Escalating pause between failover attempts: a briefly busy pool
+      // must not burn the whole budget within milliseconds.
+      if (attempt < options_.max_retries)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20 * (attempt + 1)));
+    }
+    throw ExecError("fleet: scenario failed on every attempt: " +
+                    diagnostics);
+  }
+
+  CampaignDispatch dispatch(spec_, options_, healthy, request, observer);
+  scenario::CampaignSummary summary = dispatch.run();
+  summary.total_seconds = timer.seconds();
+  return exec::Outcome::from_summary(std::move(summary), name());
+}
+
+}  // namespace clktune::fleet

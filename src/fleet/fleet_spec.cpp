@@ -1,0 +1,89 @@
+#include "fleet/fleet_spec.h"
+
+#include <cstdlib>
+
+#include "exec/request.h"
+
+namespace clktune::fleet {
+
+using util::Json;
+
+namespace {
+
+FleetMember parse_endpoint(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size())
+    throw exec::ExecError("fleet: daemon \"" + text +
+                          "\" is not host:port");
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(text.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port == 0 || port > 65535)
+    throw exec::ExecError("fleet: daemon \"" + text +
+                          "\" has an invalid port");
+  FleetMember member;
+  member.host = text.substr(0, colon);
+  member.port = static_cast<std::uint16_t>(port);
+  return member;
+}
+
+FleetMember parse_member(const Json& entry) {
+  if (entry.is_string()) return parse_endpoint(entry.as_string());
+  FleetMember member;
+  for (const auto& [key, value] : entry.as_object()) {
+    if (key == "host") {
+      member.host = value.as_string();
+    } else if (key == "port") {
+      const std::uint64_t port = value.as_uint();
+      if (port == 0 || port > 65535)
+        throw exec::ExecError("fleet: port " + std::to_string(port) +
+                              " out of range");
+      member.port = static_cast<std::uint16_t>(port);
+    } else if (key == "weight") {
+      member.weight = static_cast<std::size_t>(value.as_uint());
+      if (member.weight == 0)
+        throw exec::ExecError("fleet: weight must be >= 1");
+    } else {
+      throw util::JsonError("fleet: unknown daemon member \"" + key + "\"");
+    }
+  }
+  if (member.host.empty() || member.port == 0)
+    throw exec::ExecError("fleet: a daemon needs both host and port");
+  return member;
+}
+
+}  // namespace
+
+FleetSpec FleetSpec::parse_daemon_list(const std::string& list) {
+  FleetSpec spec;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = list.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > begin)
+      spec.members.push_back(parse_endpoint(list.substr(begin, end - begin)));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (spec.members.empty())
+    throw exec::ExecError("fleet: empty daemon list");
+  return spec;
+}
+
+FleetSpec FleetSpec::from_json(const Json& doc) {
+  FleetSpec spec;
+  for (const Json& entry : doc.at("daemons").as_array())
+    spec.members.push_back(parse_member(entry));
+  if (spec.members.empty())
+    throw exec::ExecError("fleet: fleet file lists no daemons");
+  return spec;
+}
+
+FleetSpec FleetSpec::from_file(const std::string& path) {
+  return from_json(util::read_json_file(path));
+}
+
+void FleetSpec::merge(const FleetSpec& other) {
+  members.insert(members.end(), other.members.begin(), other.members.end());
+}
+
+}  // namespace clktune::fleet

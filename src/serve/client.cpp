@@ -21,8 +21,12 @@ std::uint64_t SubmitOutcome::targets_missed() const {
 }
 
 SubmitOutcome submit_raw(const std::string& host, std::uint16_t port,
-                         const Json& request, const EventCallback& on_event) {
-  const util::TcpSocket connection = util::tcp_connect(host, port);
+                         const Json& request, const EventCallback& on_event,
+                         const SubmitOptions& options) {
+  const util::TcpSocket connection =
+      util::tcp_connect(host, port, options.connect_timeout_ms);
+  if (options.io_timeout_ms > 0)
+    util::tcp_set_recv_timeout(connection, options.io_timeout_ms);
   util::tcp_write_all(connection, request.dump(-1) + "\n");
 
   SubmitOutcome outcome;

@@ -28,15 +28,28 @@ struct SubmitOutcome {
 /// Progress observer: every response event, in arrival order; may be empty.
 using EventCallback = std::function<void(const util::Json&)>;
 
+/// Client-side deadlines for one exchange.  0 = no deadline (block
+/// indefinitely, the historical behaviour).  A connect that exceeds its
+/// deadline, and a response stream that stalls longer than `io_timeout_ms`
+/// between bytes, both throw std::runtime_error whose message contains
+/// "timed out" — the diagnostic callers show instead of hanging on an
+/// unreachable or wedged daemon.
+struct SubmitOptions {
+  int connect_timeout_ms = 0;
+  int io_timeout_ms = 0;
+};
+
 /// Sends one pre-built request line verbatim and collects the response
-/// stream — the layer RemoteExecutor builds on, for requests that carry
-/// members beyond cmd/doc (e.g. a "shard" slice).  Throws
-/// std::runtime_error on connection failure and util::JsonError on a
-/// malformed response line; exceptions from `on_event` propagate (closing
-/// the connection), which is how an observer aborts a stream.
+/// stream — the layer RemoteExecutor and fleet::FleetExecutor build on,
+/// for requests that carry members beyond cmd/doc (e.g. a "shard" slice or
+/// an "indices" work unit).  Throws std::runtime_error on connection
+/// failure or an expired deadline and util::JsonError on a malformed
+/// response line; exceptions from `on_event` propagate (closing the
+/// connection), which is how an observer aborts a stream.
 SubmitOutcome submit_raw(const std::string& host, std::uint16_t port,
                          const util::Json& request,
-                         const EventCallback& on_event = {});
+                         const EventCallback& on_event = {},
+                         const SubmitOptions& options = {});
 
 /// Sends `{"cmd":cmd,"doc":doc}` (doc omitted when null) and collects the
 /// response stream.  Throws std::runtime_error on connection failure and

@@ -1,8 +1,10 @@
 #include "serve/server.h"
 
+#include <sys/socket.h>
+
 #include <cstdio>
 #include <exception>
-#include <mutex>
+#include <utility>
 
 #include "exec/local_executor.h"
 #include "exec/observer.h"
@@ -84,7 +86,11 @@ class StreamObserver : public exec::Observer {
 
 ScenarioServer::ScenarioServer(ServeOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_dir, options_.cache_capacity) {}
+      cache_(options_.cache_dir, options_.cache_capacity) {
+  if (options_.admission_threads == 0) options_.admission_threads = 1;
+  // Capacity 0 would reject every connection while handlers sit idle.
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+}
 
 void ScenarioServer::start() {
   listener_ = util::tcp_listen(options_.port);
@@ -92,20 +98,131 @@ void ScenarioServer::start() {
 }
 
 void ScenarioServer::serve_forever() {
+  std::vector<std::thread> handlers;
+  handlers.reserve(options_.admission_threads);
+  for (std::size_t i = 0; i < options_.admission_threads; ++i)
+    handlers.emplace_back([this] { handler_loop(); });
+
   while (!stop_.load()) {
     util::TcpSocket connection = util::tcp_accept(listener_);
-    if (!connection.valid()) break;  // listener closed by stop()
+    if (!connection.valid()) break;  // listener closed by stop()/shutdown
     ++connections_;
-    handle_connection(std::move(connection));
+    bool admitted = false;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.size() < options_.queue_capacity) {
+        queue_.push_back(std::move(connection));
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_ready_.notify_one();
+      continue;
+    }
+    // Backpressure: a structured frame the client can tell apart from a
+    // protocol error, then close.  Rejecting at admission keeps the bound
+    // on waiting work exact — one slow fleet cannot wedge the daemon.
+    // The client has typically already written its request line; closing
+    // with it unread would turn the close into a TCP reset that discards
+    // the busy frame, so drain the buffered bytes (non-blocking) first.
+    ++rejected_;
+    util::tcp_drain_pending(connection);
+    Json busy = Json::object();
+    busy.set("event", "error");
+    busy.set("code", "busy");
+    busy.set("message",
+             "server queue full (" + std::to_string(options_.queue_capacity) +
+                 " waiting); retry on another daemon");
+    try {
+      send_event(connection, busy);
+    } catch (const std::exception&) {
+      // Peer already gone: the rejection stands either way.
+    }
+    // Half-close and linger briefly for the client's EOF: a multi-segment
+    // request still in flight when we close would otherwise reset the
+    // connection and discard the frame.  A cooperative client closes
+    // within one round trip of reading it; the per-recv deadline and the
+    // total byte cap bound everyone else — this runs on the accept
+    // thread, so an uncooperative peer must not stall admission.
+    ::shutdown(connection.fd(), SHUT_WR);
+    try {
+      util::tcp_set_recv_timeout(connection, 50);
+    } catch (const std::exception&) {
+      continue;  // cannot bound the linger: close immediately instead
+    }
+    char discard[4096];
+    std::size_t drained = 0;
+    while (drained < 64 * 1024) {
+      const ssize_t n =
+          ::recv(connection.fd(), discard, sizeof(discard), 0);
+      if (n <= 0) break;  // EOF, reset, or the 50 ms deadline
+      drained += static_cast<std::size_t>(n);
+    }
   }
+
+  // Wind down: no handler may pick up new work, queued-but-unclaimed
+  // connections are closed (their clients see EOF rather than a hang),
+  // blocked reads are severed so every handler observes EOF, then all of
+  // them are joined.
+  stop_.store(true);
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.clear();
+  }
+  queue_ready_.notify_all();
+  {
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& handler : handlers) handler.join();
+}
+
+void ScenarioServer::close_listener() {
+  const std::lock_guard<std::mutex> lock(listener_mutex_);
+  listener_.close();
 }
 
 void ScenarioServer::stop() {
   stop_.store(true);
-  listener_.close();
+  close_listener();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.clear();
+  }
+  queue_ready_.notify_all();
+  const std::lock_guard<std::mutex> lock(active_mutex_);
+  for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void ScenarioServer::track_connection(int fd, bool add) {
+  const std::lock_guard<std::mutex> lock(active_mutex_);
+  if (add) {
+    active_fds_.insert(fd);
+    // stop() may have severed the registry an instant ago; a connection
+    // registering after that must not outlive the wind-down.
+    if (stop_.load()) ::shutdown(fd, SHUT_RDWR);
+  } else {
+    active_fds_.erase(fd);
+  }
+}
+
+void ScenarioServer::handler_loop() {
+  for (;;) {
+    util::TcpSocket connection;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_ready_.wait(lock,
+                        [this] { return stop_.load() || !queue_.empty(); });
+      if (stop_.load()) return;  // wind-down already drained the queue
+      connection = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    handle_connection(std::move(connection));
+  }
 }
 
 void ScenarioServer::handle_connection(util::TcpSocket connection) {
+  track_connection(connection.fd(), /*add=*/true);
   util::LineReader reader(connection);
   std::string line;
   while (!stop_.load() && reader.read_line(line)) {
@@ -118,10 +235,11 @@ void ScenarioServer::handle_connection(util::TcpSocket connection) {
       try {
         send_error(connection, e.what());
       } catch (const std::exception&) {
-        return;  // peer gone mid-error: drop the connection
+        break;  // peer gone mid-error: drop the connection
       }
     }
   }
+  track_connection(connection.fd(), /*add=*/false);
 }
 
 void ScenarioServer::handle_request(const util::TcpSocket& connection,
@@ -135,9 +253,10 @@ void ScenarioServer::handle_request(const util::TcpSocket& connection,
   if (cmd == "status") {
     Json event = Json::object();
     event.set("event", "status");
-    event.set("requests", requests_);
-    event.set("connections", connections_);
-    event.set("scenarios_run", scenarios_run_);
+    event.set("requests", requests_.load());
+    event.set("connections", connections_.load());
+    event.set("rejected", rejected_.load());
+    event.set("scenarios_run", scenarios_run_.load());
     event.set("cache", cache_.stats().to_json());
     send_event(connection, event);
     return;
@@ -145,7 +264,7 @@ void ScenarioServer::handle_request(const util::TcpSocket& connection,
 
   if (cmd == "shutdown") {
     stop_.store(true);
-    listener_.close();
+    close_listener();
     send_event(connection, done_event(0, 0, 0));
     return;
   }
@@ -164,6 +283,12 @@ void ScenarioServer::handle_request(const util::TcpSocket& connection,
           static_cast<std::size_t>(shard->at("index").as_uint());
       exec_request.shard_count =
           static_cast<std::size_t>(shard->at("count").as_uint());
+    }
+    if (const Json* indices = request.find("indices")) {
+      exec_request.indices.reserve(indices->as_array().size());
+      for (const Json& index : indices->as_array())
+        exec_request.indices.push_back(
+            static_cast<std::size_t>(index.as_uint()));
     }
     exec::LocalExecutor executor;
     StreamObserver observer(connection);

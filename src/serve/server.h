@@ -5,6 +5,7 @@
 // line an object with an "event" member.  The PR-1 artifact layer is the
 // wire format — a streamed "result" event carries exactly the JSON that
 // `clktune run` would have written for the same document.
+// docs/serve_protocol.md is the normative wire specification.
 //
 //   request                                  response lines
 //   {"cmd":"run","doc":{scenario}}       -> result, done
@@ -12,32 +13,45 @@
 //   {"cmd":"status"}                     -> status
 //   {"cmd":"shutdown"}                   -> done (then the server exits)
 //
-// A sweep request may carry an optional {"shard":{"index":i,"count":n}}
-// member: the daemon then runs only the expansion indices with
-// idx % n == i, exactly like `clktune sweep --shard i/n` — the hook that
-// lets a coordinator (exec::ShardedExecutor over exec::RemoteExecutors)
-// fan one campaign out across several daemons.
+// A sweep request may carry one of two selection members:
+//   {"shard":{"index":i,"count":n}}   run expansion indices idx % n == i,
+//                                     exactly like `clktune sweep --shard`
+//   {"indices":[i0,i1,...]}           run exactly these global expansion
+//                                     indices (strictly increasing)
+// The shard form backs static fan-out (exec::ShardedExecutor over
+// exec::RemoteExecutors); the indices form is the work-unit interface that
+// fleet::FleetExecutor feeds daemons work-stealing style.
 //
 //   result: {"event":"result","index":i,"cached":bool,"result":{artifact}}
 //   done:   {"event":"done","ok":true,"scenarios_run":n,
 //            "targets_missed":m,"cached":c}
-//   status: {"event":"status","requests":r,"connections":k,
+//   status: {"event":"status","requests":r,"connections":k,"rejected":j,
 //            "scenarios_run":n,"cache":{hits,misses,...}}
-//   error:  {"event":"error","message":"..."}
+//   error:  {"event":"error","message":"..."[,"code":"busy"]}
 //
 // Sweep results stream in completion order, tagged with their global
-// expansion index; scenario execution fans out over the campaign thread
-// pool, so one request at a time is admitted (compute is parallel,
-// admission is serial).  Requests execute through exec::LocalExecutor —
-// the same backend the CLI uses — with a streaming exec::Observer as the
-// wire adapter, and every result goes through the content-addressed
-// ResultCache, so the daemon never recomputes a document it has already
-// solved, across requests and across clients.
+// expansion index.  Connections are admitted concurrently: the accept loop
+// pushes each connection onto a bounded queue drained by a pool of handler
+// threads, so one slow client no longer blocks the rest of a fleet.  When
+// the queue is full the daemon answers with a structured backpressure
+// frame ({"event":"error","code":"busy",...}) and closes — callers treat
+// it like any other daemon failure and retry elsewhere.  Requests execute
+// through exec::LocalExecutor — the same backend the CLI uses — with a
+// streaming exec::Observer as the wire adapter, and every result goes
+// through the content-addressed ResultCache, so the daemon never
+// recomputes a document it has already solved, across requests and across
+// clients.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cache/result_cache.h"
 #include "util/socket.h"
@@ -50,6 +64,11 @@ struct ServeOptions {
   std::string cache_dir;    ///< empty = in-memory cache only
   std::size_t cache_capacity = 256;  ///< LRU entries held in memory
   bool quiet = true;        ///< suppress per-request stderr lines
+  /// Connection handlers running concurrently (admission parallelism).
+  std::size_t admission_threads = 4;
+  /// Accepted-but-unclaimed connections held while every handler is busy;
+  /// beyond this the daemon rejects with a "busy" backpressure frame.
+  std::size_t queue_capacity = 16;
 };
 
 class ScenarioServer {
@@ -60,28 +79,47 @@ class ScenarioServer {
   void start();
   std::uint16_t port() const { return port_; }
 
-  /// Accept loop; returns after a shutdown request or stop().  Connections
-  /// are handled one at a time; each may carry any number of request lines.
+  /// Accept loop; returns after a shutdown request or stop(), with every
+  /// handler joined.  Connections are admitted onto the bounded queue and
+  /// handled by the pool; each may carry any number of request lines.
   void serve_forever();
 
-  /// Thread-safe: asks the accept loop to exit and unblocks it.
+  /// Thread-safe: asks the accept loop to exit, unblocks it, and severs
+  /// in-flight connections so handlers wind down.
   void stop();
 
   cache::ResultCache& cache() { return cache_; }
 
  private:
+  void handler_loop();
   void handle_connection(util::TcpSocket connection);
   void handle_request(const util::TcpSocket& connection,
                       const std::string& line);
+  /// Registry of fds handlers are blocked on, so stop() can sever them.
+  void track_connection(int fd, bool add);
+  /// Serialised listener close: the shutdown verb runs on handler
+  /// threads, so concurrent shutdowns (or shutdown racing stop()) must
+  /// not double-close the listener fd.
+  void close_listener();
 
   ServeOptions options_;
   cache::ResultCache cache_;
+  std::mutex listener_mutex_;
   util::TcpSocket listener_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
-  std::uint64_t requests_ = 0;
-  std::uint64_t connections_ = 0;
-  std::uint64_t scenarios_run_ = 0;  ///< computed + cache-served
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_ready_;
+  std::deque<util::TcpSocket> queue_;  ///< accepted, awaiting a handler
+
+  std::mutex active_mutex_;
+  std::set<int> active_fds_;  ///< connections currently owned by handlers
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> rejected_{0};  ///< busy backpressure rejections
+  std::atomic<std::uint64_t> scenarios_run_{0};  ///< computed + cache-served
 };
 
 }  // namespace clktune::serve

@@ -1,10 +1,13 @@
 #include "util/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -18,6 +21,45 @@ namespace {
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("socket: " + what + ": " +
                            std::strerror(errno));
+}
+
+/// Connect with a deadline: flip the socket non-blocking, start the
+/// connect, poll for writability, read the outcome from SO_ERROR, restore
+/// blocking mode.  Returns 0 on success, the failing errno otherwise
+/// (ETIMEDOUT when the deadline expired).
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t addrlen,
+                         int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    return errno;
+  int result = 0;
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno != EINPROGRESS) {
+      result = errno;
+    } else {
+      pollfd waiter{};
+      waiter.fd = fd;
+      waiter.events = POLLOUT;
+      int rc;
+      do {
+        rc = ::poll(&waiter, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        result = ETIMEDOUT;
+      } else if (rc < 0) {
+        result = errno;
+      } else {
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0)
+          result = errno;
+        else
+          result = so_error;
+      }
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0 && result == 0) result = errno;
+  return result;
 }
 
 }  // namespace
@@ -74,7 +116,8 @@ TcpSocket tcp_accept(const TcpSocket& listener) {
   }
 }
 
-TcpSocket tcp_connect(const std::string& host, std::uint16_t port) {
+TcpSocket tcp_connect(const std::string& host, std::uint16_t port,
+                      int connect_timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -92,18 +135,41 @@ TcpSocket tcp_connect(const std::string& host, std::uint16_t port) {
     TcpSocket candidate(
         ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
     if (!candidate.valid()) continue;
-    if (::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+    const int err =
+        connect_timeout_ms > 0
+            ? connect_with_timeout(candidate.fd(), ai->ai_addr,
+                                   ai->ai_addrlen, connect_timeout_ms)
+            : (::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen) == 0
+                   ? 0
+                   : errno);
+    if (err == 0) {
       socket = std::move(candidate);
       break;
     }
-    last_errno = errno;  // before the candidate's close() clobbers it
+    last_errno = err;
   }
   ::freeaddrinfo(results);
   if (!socket.valid()) {
+    const std::string target = host + ":" + std::to_string(port);
+    // A kernel-level ETIMEDOUT in block-forever mode (no deadline set)
+    // must not claim a "0 ms" deadline expired — fall through to errno.
+    if (last_errno == ETIMEDOUT && connect_timeout_ms > 0)
+      throw std::runtime_error("socket: connect(" + target +
+                               ") timed out after " +
+                               std::to_string(connect_timeout_ms) + " ms");
     errno = last_errno;
-    fail("connect(" + host + ":" + std::to_string(port) + ")");
+    fail("connect(" + target + ")");
   }
   return socket;
+}
+
+void tcp_set_recv_timeout(const TcpSocket& socket, int timeout_ms) {
+  timeval deadline{};
+  deadline.tv_sec = timeout_ms / 1000;
+  deadline.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &deadline,
+                   sizeof(deadline)) != 0)
+    fail("setsockopt(SO_RCVTIMEO)");
 }
 
 void tcp_write_all(const TcpSocket& socket, std::string_view data) {
@@ -116,6 +182,18 @@ void tcp_write_all(const TcpSocket& socket, std::string_view data) {
       fail("send()");
     }
     sent += static_cast<std::size_t>(n);
+  }
+}
+
+void tcp_drain_pending(const TcpSocket& socket) {
+  char discard[4096];
+  for (;;) {
+    const ssize_t n =
+        ::recv(socket.fd(), discard, sizeof(discard), MSG_DONTWAIT);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // empty queue (EAGAIN), EOF, or error — nothing left to eat
+    }
   }
 }
 
@@ -137,6 +215,9 @@ bool LineReader::read_line(std::string& line) {
     const ssize_t n = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error(
+            "socket: recv() timed out waiting for the peer");
       eof_ = true;  // treat a reset peer as end of stream
     } else if (n == 0) {
       eof_ = true;

@@ -1,8 +1,11 @@
 // Thin RAII wrappers over POSIX TCP sockets, just enough for the
 // newline-delimited-JSON service protocol: a loopback listener, blocking
-// accept/connect, full-buffer writes and a buffered line reader.  All
-// failures surface as std::runtime_error with errno text; no global state,
-// no third-party dependency.
+// accept/connect (optionally bounded by a connect timeout), full-buffer
+// writes and a buffered line reader with an optional receive deadline.  All
+// failures surface as std::runtime_error with errno text — a timed-out
+// connect or read says so explicitly, which is what lets callers tell an
+// unreachable daemon from a closed one; no global state, no third-party
+// dependency.
 #pragma once
 
 #include <cstdint>
@@ -44,10 +47,26 @@ std::uint16_t tcp_local_port(const TcpSocket& socket);
 TcpSocket tcp_accept(const TcpSocket& listener);
 
 /// Connects to `host`:`port` (name resolution included).
-TcpSocket tcp_connect(const std::string& host, std::uint16_t port);
+/// `connect_timeout_ms` > 0 bounds the connect attempt; 0 blocks
+/// indefinitely.  A timeout throws std::runtime_error whose message
+/// contains "timed out".
+TcpSocket tcp_connect(const std::string& host, std::uint16_t port,
+                      int connect_timeout_ms = 0);
+
+/// Bounds every subsequent recv() on `socket` (SO_RCVTIMEO); 0 removes the
+/// deadline.  A read that hits the deadline surfaces from LineReader as a
+/// std::runtime_error containing "timed out".
+void tcp_set_recv_timeout(const TcpSocket& socket, int timeout_ms);
 
 /// Writes all of `data`, looping over partial sends.
 void tcp_write_all(const TcpSocket& socket, std::string_view data);
+
+/// Discards whatever is already buffered in the socket's receive queue
+/// without blocking.  Closing a socket with unread data makes TCP reset
+/// the connection and discard in-flight response bytes — a server that
+/// answers-then-closes without reading the request (the backpressure
+/// path) must drain first or the client never sees the answer.
+void tcp_drain_pending(const TcpSocket& socket);
 
 /// Buffered reader of '\n'-terminated lines from one socket.
 class LineReader {
@@ -55,7 +74,11 @@ class LineReader {
   explicit LineReader(const TcpSocket& socket) : socket_(&socket) {}
 
   /// Next line without the terminator; false on clean EOF (a trailing
-  /// unterminated fragment is returned as a final line first).
+  /// unterminated fragment is returned as a final line first).  When the
+  /// socket carries a recv deadline (tcp_set_recv_timeout) and it expires,
+  /// throws std::runtime_error("socket: recv() timed out ...") instead of
+  /// masquerading as EOF — a stalled daemon must look different from a
+  /// closed connection.
   bool read_line(std::string& line);
 
  private:

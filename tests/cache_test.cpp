@@ -6,10 +6,14 @@
 // cold summary bit for bit.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "cache/maintenance.h"
 #include "cache/result_cache.h"
 #include "exec/local_executor.h"
 #include "exec/request.h"
@@ -204,6 +208,120 @@ TEST(ResultCacheTest, CorruptDiskEntryReadsAsMiss) {
   std::filesystem::remove_all(dir);
 }
 
+Json tiny_campaign_doc() {
+  Json doc = Json::object();
+  doc.set("name", "tiny_campaign");
+  doc.set("base", tiny_scenario_doc());
+  Json sweep = Json::object();
+  sweep.set("clock.sigma_offset",
+            Json(util::JsonArray{Json(0.0), Json(1.0)}));
+  doc.set("sweep", std::move(sweep));
+  return doc;
+}
+
+// ------------------------------------------------------ disk maintenance
+
+TEST(CacheMaintenanceTest, GcEvictsOldestEntriesAndWriterTempFiles) {
+  const std::string dir = testing::TempDir() + "clktune_cache_gc";
+  std::filesystem::remove_all(dir);
+  cache::ResultCache cache_store(dir);
+  cache_store.put("k1", fake_artifact(1));
+  cache_store.put("k2", fake_artifact(2));
+  cache_store.put("k3", fake_artifact(3));
+  // Deterministic LRU order regardless of write timing granularity.
+  const auto now = std::filesystem::file_time_type::clock::now();
+  std::filesystem::last_write_time(dir + "/k1.json",
+                                   now - std::chrono::hours(3));
+  std::filesystem::last_write_time(dir + "/k2.json",
+                                   now - std::chrono::hours(2));
+  std::filesystem::last_write_time(dir + "/k3.json",
+                                   now - std::chrono::hours(1));
+  {
+    std::FILE* f = std::fopen((dir + "/k9.json.tmp.123.0").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("torn", f);
+    std::fclose(f);
+  }
+
+  const cache::DiskCacheStats before = cache::disk_cache_stats(dir);
+  EXPECT_EQ(before.entries, 3u);  // the temp file is not an entry
+  ASSERT_GT(before.bytes, 0u);
+
+  // A budget that fits two entries evicts exactly the oldest one.
+  const std::uint64_t entry_bytes =
+      std::filesystem::file_size(dir + "/k1.json");
+  const cache::GcReport report =
+      cache::gc_cache_dir(dir, 2 * entry_bytes + entry_bytes / 2);
+  EXPECT_EQ(report.scanned, 3u);
+  EXPECT_EQ(report.removed, 1u);
+  EXPECT_EQ(report.kept, 2u);
+  EXPECT_EQ(report.temp_files_removed, 1u);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/k1.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/k2.json"));
+
+  // Budget 0 clears the layer entirely.
+  const cache::GcReport wipe = cache::gc_cache_dir(dir, 0);
+  EXPECT_EQ(wipe.removed, 2u);
+  EXPECT_EQ(cache::disk_cache_stats(dir).entries, 0u);
+
+  EXPECT_THROW(cache::disk_cache_stats(dir + "/nope"), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheMaintenanceTest, VerifyReHashesArtifactsAgainstKeys) {
+  const std::string dir = testing::TempDir() + "clktune_cache_verify";
+  std::filesystem::remove_all(dir);
+
+  // Real entries, written by a cached campaign run.
+  const auto spec = scenario::CampaignSpec::from_json(tiny_campaign_doc());
+  cache::ResultCache cache_store(dir);
+  exec::Request request = exec::Request::for_campaign(spec);
+  request.cache = &cache_store;
+  exec::LocalExecutor executor;
+  const scenario::CampaignSummary cold = executor.execute(request).summary;
+
+  // Every entry is a self-describing envelope keyed by its filename.
+  std::vector<std::string> files;
+  for (const auto& item : std::filesystem::directory_iterator(dir))
+    files.push_back(item.path().string());
+  ASSERT_EQ(files.size(), 2u);
+  for (const std::string& file : files) {
+    const Json envelope = util::read_json_file(file);
+    EXPECT_EQ(envelope.at("key").as_string() + ".json",
+              std::filesystem::path(file).filename().string());
+    EXPECT_EQ(envelope.at("sha256").as_string(),
+              util::sha256_hex(util::canonical_dump(envelope.at("result"))));
+  }
+  EXPECT_TRUE(cache::verify_cache_dir(dir).ok());
+
+  // Tamper with one artifact's bytes (still valid JSON): verify flags the
+  // digest mismatch, and a warm run treats the entry as a miss — so
+  // corruption self-heals instead of poisoning the summary.
+  {
+    Json envelope = util::read_json_file(files[0]);
+    envelope.find("result")->set("setting", "tampered");
+    util::write_json_file(files[0], envelope, -1);
+  }
+  {
+    std::FILE* f = std::fopen((dir + "/not-a-key.json").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"key\":\"other\",\"sha256\":\"x\",\"result\":{}}", f);
+    std::fclose(f);
+  }
+  const cache::VerifyReport report = cache::verify_cache_dir(dir);
+  EXPECT_EQ(report.checked, 3u);
+  ASSERT_EQ(report.issues.size(), 2u);
+
+  cache::ResultCache reread(dir);
+  exec::Request warm_request = exec::Request::for_campaign(spec);
+  warm_request.cache = &reread;
+  const scenario::CampaignSummary warm =
+      executor.execute(warm_request).summary;
+  EXPECT_EQ(warm.to_json().dump(), cold.to_json().dump());
+  EXPECT_EQ(warm.scenarios_cached, 1u);  // the intact entry still serves
+  std::filesystem::remove_all(dir);
+}
+
 // ----------------------------------------------------- result round trip
 
 TEST(ResultRoundTripTest, ScenarioResultJsonIsByteExact) {
@@ -217,17 +335,6 @@ TEST(ResultRoundTripTest, ScenarioResultJsonIsByteExact) {
 }
 
 // ------------------------------------------------- campaign cache + shard
-
-Json tiny_campaign_doc() {
-  Json doc = Json::object();
-  doc.set("name", "tiny_campaign");
-  doc.set("base", tiny_scenario_doc());
-  Json sweep = Json::object();
-  sweep.set("clock.sigma_offset",
-            Json(util::JsonArray{Json(0.0), Json(1.0)}));
-  doc.set("sweep", std::move(sweep));
-  return doc;
-}
 
 TEST(CampaignCacheTest, WarmRerunComputesNothingAndMatchesColdBytes) {
   const auto spec = scenario::CampaignSpec::from_json(tiny_campaign_doc());

@@ -170,6 +170,66 @@ TEST_F(ExecServerFixture, RemoteShardSliceMatchesLocalShard) {
             local.execute(request).artifact().dump());
 }
 
+TEST_F(ExecServerFixture, ExplicitIndicesMatchLocalAndShardSelections) {
+  exec::Request request = campaign_request();
+  request.indices = {1};
+
+  // The same single cell through an index list and through the equivalent
+  // shard slice is byte-identical — both are selections, not computations.
+  exec::LocalExecutor local;
+  const exec::Outcome via_indices = local.execute(request);
+  exec::Request slice = campaign_request();
+  slice.shard_index = 1;
+  slice.shard_count = 2;
+  const exec::Outcome via_shard = local.execute(slice);
+  ASSERT_EQ(via_indices.summary.results.size(), 1u);
+  EXPECT_EQ(via_indices.summary.results[0].to_json().dump(),
+            via_shard.summary.results[0].to_json().dump());
+
+  // And the remote backend forwards the list for daemon-side selection.
+  exec::RemoteExecutor remote("127.0.0.1", server_->port());
+  RecordingObserver observer;
+  EXPECT_EQ(remote.execute(request, &observer).artifact().dump(),
+            via_indices.artifact().dump());
+  EXPECT_EQ(observer.indices, (std::set<std::size_t>{1}));
+
+  // The full expansion as an explicit list reproduces the plain sweep.
+  exec::Request all = campaign_request();
+  all.indices = {0, 1};
+  EXPECT_EQ(local.execute(all).artifact().dump(),
+            local.execute(campaign_request()).artifact().dump());
+}
+
+TEST(RequestValidationTest, RejectsMalformedIndexSelections) {
+  exec::Request scenario_request =
+      exec::Request::from_json(tiny_scenario_doc());
+  scenario_request.indices = {0};
+  EXPECT_THROW(scenario_request.validate(), exec::ExecError);
+
+  exec::Request doubly_selected = campaign_request();
+  doubly_selected.indices = {0};
+  doubly_selected.shard_index = 0;
+  doubly_selected.shard_count = 2;
+  EXPECT_THROW(doubly_selected.validate(), exec::ExecError);
+
+  exec::Request out_of_range = campaign_request();
+  out_of_range.indices = {7};
+  EXPECT_THROW(out_of_range.validate(), exec::ExecError);
+
+  exec::Request unsorted = campaign_request();
+  unsorted.indices = {1, 0};
+  EXPECT_THROW(unsorted.validate(), exec::ExecError);
+
+  exec::Request duplicated = campaign_request();
+  duplicated.indices = {1, 1};
+  EXPECT_THROW(duplicated.validate(), exec::ExecError);
+
+  exec::Request good = campaign_request();
+  good.indices = {0, 1};
+  good.validate();
+  EXPECT_EQ(good.shard_cells(), 2u);
+}
+
 TEST(ShardedExecutorTest, ScenarioDelegatesAndDoubleShardingIsRejected) {
   std::vector<std::unique_ptr<exec::Executor>> children;
   children.push_back(std::make_unique<exec::LocalExecutor>());
@@ -261,6 +321,69 @@ TEST(MergeTest, RejectsOverlappingMissingAndMismatchedShards) {
   truncated.results.clear();
   EXPECT_THROW(exec::merge_shard_summaries({truncated, b}),
                exec::ExecError);
+}
+
+TEST(MergeTest, EmptyShardsOfAnOversplitCampaignMergeCleanly) {
+  // 3-way split of a 2-cell campaign: shard 2 legitimately runs nothing,
+  // and the merge must still reproduce the unsharded bytes.
+  exec::LocalExecutor local;
+  const scenario::CampaignSummary full =
+      local.execute(campaign_request()).summary;
+
+  std::vector<scenario::CampaignSummary> shards;
+  for (std::size_t k = 0; k < 3; ++k) {
+    exec::Request slice = campaign_request();
+    slice.shard_index = k;
+    slice.shard_count = 3;
+    shards.push_back(local.execute(slice).summary);
+  }
+  EXPECT_EQ(shards[2].results.size(), 0u);
+  EXPECT_EQ(exec::merge_shard_summaries(shards).to_json().dump(),
+            full.to_json().dump());
+}
+
+TEST(MergeTest, SingleCellCampaignMergesAcrossAnySplit) {
+  Json doc = tiny_campaign_doc();
+  Json sweep = Json::object();
+  sweep.set("clock.sigma_offset", Json(util::JsonArray{Json(0.0)}));
+  doc.set("sweep", std::move(sweep));
+  const exec::Request request = exec::Request::from_json(doc);
+  ASSERT_EQ(request.expansion_size(), 1u);
+
+  exec::LocalExecutor local;
+  const scenario::CampaignSummary full = local.execute(request).summary;
+
+  // A 1-shard "split" merges to itself; a 2-way split leaves shard 1
+  // empty and still reproduces the unsharded bytes.
+  EXPECT_EQ(exec::merge_shard_summaries({full}).to_json().dump(),
+            full.to_json().dump());
+  exec::Request shard0 = request, shard1 = request;
+  shard0.shard_count = shard1.shard_count = 2;
+  shard0.shard_index = 0;
+  shard1.shard_index = 1;
+  const scenario::CampaignSummary merged = exec::merge_shard_summaries(
+      {local.execute(shard0).summary, local.execute(shard1).summary});
+  EXPECT_EQ(merged.to_json().dump(), full.to_json().dump());
+}
+
+TEST(MergeTest, DuplicateShardIndexAcrossParsedSummariesIsRejected) {
+  // Two files both claiming shard 0/2 — e.g. the same shard output passed
+  // twice to `report --merge` under different names — must be rejected as
+  // overlapping even though names and cell counts agree.
+  exec::LocalExecutor local;
+  exec::Request shard0 = campaign_request(), shard1 = campaign_request();
+  shard0.shard_count = shard1.shard_count = 2;
+  shard0.shard_index = 0;
+  shard1.shard_index = 1;
+  const scenario::CampaignSummary a = local.execute(shard0).summary;
+
+  Json relabelled = local.execute(shard1).summary.to_json();
+  ASSERT_NE(relabelled.find("shard"), nullptr);
+  relabelled.find("shard")->set("index", 0);
+  EXPECT_THROW(
+      exec::merge_shard_summaries(
+          {a, scenario::CampaignSummary::from_json(relabelled)}),
+      exec::ExecError);
 }
 
 TEST(MergeTest, SummaryJsonRoundTripIsByteExact) {

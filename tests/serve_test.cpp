@@ -5,6 +5,7 @@
 // submission entirely from the cache.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 
@@ -158,6 +159,146 @@ TEST_F(ServerFixture, ShutdownRequestStopsTheAcceptLoop) {
   const serve::SubmitOutcome outcome = submit("shutdown", Json());
   EXPECT_TRUE(outcome.ok());
   thread_.join();  // serve_forever() must return on its own
+}
+
+// -------------------------------------------------- work units ("indices")
+
+TEST_F(ServerFixture, IndicesSweepRunsExactlyTheRequestedCells) {
+  Json wire = Json::object();
+  wire.set("cmd", "sweep");
+  wire.set("doc", tiny_campaign_doc());
+  wire.set("indices", Json(util::JsonArray{Json(1)}));
+  const serve::SubmitOutcome unit =
+      serve::submit_raw("127.0.0.1", server_->port(), wire);
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(unit.final_event.at("scenarios_run").as_uint(), 1u);
+  // submit_raw stores results by index, so slot 0 stays empty.
+  ASSERT_EQ(unit.results.size(), 2u);
+  EXPECT_TRUE(unit.results[0].is_null());
+  EXPECT_EQ(unit.results[1].at("setting").as_string(), "muT+s");
+
+  // The same cell through the full sweep is byte-identical — a work unit
+  // is just a selection, never a different computation.
+  const serve::SubmitOutcome full = serve::submit_request(
+      "127.0.0.1", server_->port(), "sweep", tiny_campaign_doc());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(unit.results[1].dump(), full.results[1].dump());
+
+  // Out-of-range and unsorted index lists are structured errors.
+  wire.set("indices", Json(util::JsonArray{Json(7)}));
+  EXPECT_FALSE(serve::submit_raw("127.0.0.1", server_->port(), wire).ok());
+  wire.set("indices", Json(util::JsonArray{Json(1), Json(0)}));
+  EXPECT_FALSE(serve::submit_raw("127.0.0.1", server_->port(), wire).ok());
+}
+
+// ---------------------------------------------- admission and backpressure
+
+TEST(ServerBackpressureTest, QueueFullConnectionsGetBusyFrames) {
+  serve::ServeOptions options;
+  options.port = 0;
+  options.threads = 1;
+  options.admission_threads = 1;  // one handler: a held connection owns it
+  options.queue_capacity = 1;
+  serve::ScenarioServer server(std::move(options));
+  server.start();
+  std::thread accept_thread([&server] { server.serve_forever(); });
+
+  {
+    // Occupy the only handler: a status round trip proves the handler has
+    // claimed this connection, and keeping it open keeps the handler
+    // blocked on its next line.
+    const util::TcpSocket held = util::tcp_connect("127.0.0.1",
+                                                   server.port());
+    util::tcp_write_all(held, "{\"cmd\":\"status\"}\n");
+    util::LineReader held_reader(held);
+    std::string line;
+    ASSERT_TRUE(held_reader.read_line(line));
+    EXPECT_EQ(Json::parse(line).at("event").as_string(), "status");
+
+    // Fill the queue with a second idle connection...
+    const util::TcpSocket queued = util::tcp_connect("127.0.0.1",
+                                                     server.port());
+    // ...then the third must be rejected with the structured busy frame.
+    // Like a real fleet client it writes its request line immediately —
+    // the server must still deliver the frame (closing with the request
+    // unread would reset the connection and discard it).
+    const util::TcpSocket rejected = util::tcp_connect("127.0.0.1",
+                                                       server.port());
+    util::tcp_write_all(rejected, "{\"cmd\":\"status\"}\n");
+    util::LineReader rejected_reader(rejected);
+    ASSERT_TRUE(rejected_reader.read_line(line));
+    const Json busy = Json::parse(line);
+    EXPECT_EQ(busy.at("event").as_string(), "error");
+    EXPECT_EQ(busy.at("code").as_string(), "busy");
+    EXPECT_FALSE(rejected_reader.read_line(line));  // and closed
+
+    // Releasing the held connection frees the handler for the queued one.
+  }
+  // The handler drains the queued connection asynchronously, so a status
+  // request may race it and be busy-rejected too — poll until admitted.
+  serve::SubmitOutcome after;
+  bool got_status = false;
+  for (int i = 0; i < 200 && !got_status; ++i) {
+    after = serve::submit_request("127.0.0.1", server.port(), "status",
+                                  Json());
+    const Json* event = after.final_event.find("event");
+    got_status = event != nullptr && event->as_string() == "status";
+    if (!got_status)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Stop before asserting: an early ASSERT return past the joinable
+  // accept thread would escalate a failure into std::terminate.
+  server.stop();
+  accept_thread.join();
+  ASSERT_TRUE(got_status);
+  EXPECT_GE(after.final_event.at("rejected").as_uint(), 1u);
+}
+
+TEST_F(ServerFixture, SlowClientDoesNotBlockOtherConnections) {
+  // An idle connection pins one handler indefinitely; with concurrent
+  // admission the next client is served by another handler instead of
+  // waiting for the first to finish (the pre-hardening behaviour).
+  const util::TcpSocket idle = util::tcp_connect("127.0.0.1",
+                                                 server_->port());
+  const serve::SubmitOutcome outcome = submit("run", tiny_scenario_doc());
+  EXPECT_TRUE(outcome.ok());
+}
+
+// ------------------------------------------------------- client deadlines
+
+TEST(ClientTimeoutTest, SilentPeerSurfacesAsTimedOutNotEof) {
+  // A listener that never responds: connects succeed (loopback backlog),
+  // but no response line ever arrives.
+  const util::TcpSocket silent = util::tcp_listen(0);
+  serve::SubmitOptions timeouts;
+  timeouts.io_timeout_ms = 100;
+  try {
+    serve::submit_raw("127.0.0.1", util::tcp_local_port(silent),
+                      Json::parse(R"({"cmd":"status"})"), {}, timeouts);
+    FAIL() << "expected a timeout";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+}
+
+TEST(ClientTimeoutTest, UnreachableDaemonReportsTheEndpoint) {
+  // Grab an ephemeral port and release it: connecting must now fail fast
+  // with a diagnostic naming the endpoint rather than hanging.
+  std::uint16_t port;
+  {
+    const util::TcpSocket listener = util::tcp_listen(0);
+    port = util::tcp_local_port(listener);
+  }
+  serve::SubmitOptions timeouts;
+  timeouts.connect_timeout_ms = 2000;
+  try {
+    serve::submit_raw("127.0.0.1", port, Json::parse(R"({"cmd":"status"})"),
+                      {}, timeouts);
+    FAIL() << "expected a connection failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(std::to_string(port)),
+              std::string::npos);
+  }
 }
 
 }  // namespace
