@@ -9,6 +9,9 @@
 //   clktune submit <doc.json>          send a document to a running server
 //   clktune fanout <doc.json>          fan a campaign out over a daemon
 //                                      pool, work-stealing with requeue
+//   clktune job status|attach|cancel <id>   inspect / stream / stop an
+//                                      async job on a running server
+//   clktune job list                   every job the server knows
 //   clktune cache stats|gc|verify      maintain an on-disk result cache
 //
 // Every command is a thin composition over the clktune::exec layer: build
@@ -27,12 +30,17 @@
 //       --progress        run/sweep/submit: per-cell NDJSON progress
 //                         lines on stderr (replaces the human lines)
 //       --tolerance <y>   --diff: allowed tuned-yield drop (default 0.005)
-//       --host <h>        submit: server host (default 127.0.0.1)
+//       --host <h>        submit/job: server host (default 127.0.0.1)
+//       --detach          submit: enqueue as a durable async job and print
+//                         its descriptor instead of waiting for results;
+//                         follow up with `clktune job attach <id>`
 //       --daemons <l>     fanout: comma-separated host:port pool
 //       --fleet <f.json>  fanout: JSON fleet file (daemons + weights);
 //                         combines with --daemons
 //       --retries <n>     fanout: re-dispatches per work unit (default 3)
 //       --unit <n>        fanout: expansion cells per work unit (default 1)
+//       --reprobe <ms>    fanout: re-probe retired daemons this often so
+//                         restarted ones rejoin (default 1000; 0 = never)
 //       --connect-timeout <ms>  submit/fanout: daemon connect deadline
 //                         (default 5000; 0 blocks forever)
 //       --io-timeout <ms> submit/fanout: response-stream stall deadline
@@ -69,6 +77,7 @@
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
 #include "scenario/summary_diff.h"
+#include "serve/client.h"
 #include "serve/server.h"
 #include "util/json.h"
 
@@ -95,11 +104,13 @@ struct Options {
   std::size_t unit_cells = 1;
   int connect_timeout_ms = 5000;
   int io_timeout_ms = 0;
+  int reprobe_interval_ms = 1000;  ///< fanout re-probe period (0 = never)
   std::uint64_t max_bytes = 0;
   bool max_bytes_set = false;
   double tolerance = 0.005;
   bool diff = false;
   bool merge = false;
+  bool detach = false;
   bool progress = false;
   bool timings = false;
   bool compact = false;
@@ -119,6 +130,10 @@ void print_usage(std::FILE* to) {
       "  serve                   run the scenario service (TCP, NDJSON)\n"
       "  submit <doc.json>       send a scenario/campaign to a server\n"
       "  fanout <doc.json>       work-stealing dispatch over a daemon pool\n"
+      "  job status <id>         one lifecycle/progress frame for a job\n"
+      "  job attach <id>         stream a job's results (replay or live)\n"
+      "  job cancel <id>         cancel a queued or running job\n"
+      "  job list                every job the server knows\n"
       "  cache stats|gc|verify   maintain an on-disk result cache\n"
       "\n"
       "options:\n"
@@ -128,11 +143,13 @@ void print_usage(std::FILE* to) {
       "      --shard <i/n>       run expansion indices idx %% n == i only\n"
       "      --progress          per-cell NDJSON progress lines on stderr\n"
       "      --tolerance <y>     allowed tuned-yield drop for --diff\n"
-      "      --host <h>          server host for submit\n"
+      "      --host <h>          server host for submit/job\n"
+      "      --detach            submit: enqueue as an async job, print id\n"
       "      --daemons <list>    fanout pool as host:port,host:port,...\n"
       "      --fleet <f.json>    fanout pool from a JSON fleet file\n"
       "      --retries <n>       fanout re-dispatches per unit (default 3)\n"
       "      --unit <n>          fanout cells per work unit (default 1)\n"
+      "      --reprobe <ms>      fanout daemon re-probe period (0 = never)\n"
       "      --connect-timeout <ms>  daemon connect deadline (default 5000)\n"
       "      --io-timeout <ms>   response stall deadline (default 0 = none)\n"
       "      --max-bytes <n>     cache gc size cap in bytes\n"
@@ -222,6 +239,11 @@ int parse_options(int argc, char** argv, Options& opt) {
         std::fprintf(stderr, "clktune: --io-timeout wants milliseconds\n");
         return 1;
       }
+    } else if (arg == "--reprobe" && i + 1 < argc) {
+      if (!parse_timeout_ms(argv[++i], opt.reprobe_interval_ms)) {
+        std::fprintf(stderr, "clktune: --reprobe wants milliseconds\n");
+        return 1;
+      }
     } else if (arg == "--max-bytes" && i + 1 < argc) {
       // gc is destructive: a half-parsed "2GB" silently becoming 2 bytes
       // would wipe the cache, so the value must be a plain byte count.
@@ -242,6 +264,8 @@ int parse_options(int argc, char** argv, Options& opt) {
       }
     } else if (arg == "--diff") {
       opt.diff = true;
+    } else if (arg == "--detach") {
+      opt.detach = true;
     } else if (arg == "--merge") {
       opt.merge = true;
     } else if (arg == "--progress") {
@@ -409,19 +433,59 @@ int cmd_sweep(const Options& opt) {
   return outcome.ok() ? 0 : 3;
 }
 
+clktune::serve::SubmitOptions submit_timeouts(const Options& opt) {
+  clktune::serve::SubmitOptions timeouts;
+  timeouts.connect_timeout_ms = opt.connect_timeout_ms;
+  timeouts.io_timeout_ms = opt.io_timeout_ms;
+  return timeouts;
+}
+
+std::uint16_t submit_port(const Options& opt) {
+  return opt.port < 0 ? kDefaultPort : static_cast<std::uint16_t>(opt.port);
+}
+
+/// `submit --detach`: enqueue the document as a durable async job and
+/// return immediately with its descriptor — admission is O(enqueue) on the
+/// daemon, no cell is computed before this prints.  The id feeds
+/// `clktune job status|attach|cancel`.
+int cmd_submit_detached(const Options& opt, const Json& doc) {
+  if (opt.shard_count > 1) {
+    // Jobs persist the *whole* selection; a daemon-side shard slice of an
+    // async job has no recovery story, so the combination is refused.
+    std::fprintf(stderr, "clktune: --detach does not combine with --shard\n");
+    return 1;
+  }
+  Json wire = Json::object();
+  wire.set("cmd", "submit");
+  wire.set("doc", doc);
+  const clktune::serve::SubmitOutcome outcome = clktune::serve::submit_raw(
+      opt.host, submit_port(opt), wire, {}, submit_timeouts(opt));
+  const Json* event = outcome.final_event.find("event");
+  if (event == nullptr || event->as_string() != "job") {
+    const Json* message = outcome.final_event.find("message");
+    std::fprintf(stderr, "clktune: submit rejected: %s\n",
+                 message != nullptr ? message->as_string().c_str()
+                                    : "connection closed");
+    return 2;
+  }
+  emit(opt, outcome.final_event);
+  if (!opt.quiet && !opt.progress)
+    std::fprintf(stderr, "clktune: job %s queued; clktune job attach %s\n",
+                 outcome.final_event.at("id").as_string().c_str(),
+                 outcome.final_event.at("id").as_string().c_str());
+  return 0;
+}
+
 int cmd_submit(const Options& opt) {
   const Json doc = clktune::util::read_json_file(opt.inputs[0]);
+  if (opt.detach) return cmd_submit_detached(opt, doc);
   clktune::exec::Request request = clktune::exec::Request::from_json(doc);
   // The daemon honours the slice server-side, so N submit --shard i/N
   // invocations against N daemons fan one campaign out across hosts.
   request.shard_index = opt.shard_index;
   request.shard_count = opt.shard_count;
-  const std::uint16_t port =
-      opt.port < 0 ? kDefaultPort : static_cast<std::uint16_t>(opt.port);
-  clktune::serve::SubmitOptions timeouts;
-  timeouts.connect_timeout_ms = opt.connect_timeout_ms;
-  timeouts.io_timeout_ms = opt.io_timeout_ms;
-  clktune::exec::RemoteExecutor executor(opt.host, port, timeouts);
+  clktune::exec::RemoteExecutor executor(opt.host, submit_port(opt),
+                                         submit_timeouts(opt));
   CliObserver observer(opt);
   const clktune::exec::Outcome outcome = executor.execute(request, &observer);
 
@@ -458,6 +522,7 @@ int cmd_fanout(const Options& opt) {
   fleet_options.max_retries = opt.retries;
   fleet_options.connect_timeout_ms = opt.connect_timeout_ms;
   fleet_options.io_timeout_ms = opt.io_timeout_ms;
+  fleet_options.reprobe_interval_ms = opt.reprobe_interval_ms;
 
   const Json doc = clktune::util::read_json_file(opt.inputs[0]);
   clktune::exec::Request request = clktune::exec::Request::from_json(doc);
@@ -481,6 +546,135 @@ int cmd_fanout(const Options& opt) {
                  static_cast<unsigned long long>(outcome.targets_missed),
                  outcome.seconds);
   return outcome.ok() ? 0 : 3;
+}
+
+/// Emits a job lifecycle frame or an error diagnostic; exit 0 on a job
+/// frame, 2 when the server answered with an error.
+int emit_job_frame(const Options& opt,
+                   const clktune::serve::SubmitOutcome& outcome) {
+  const Json* event = outcome.final_event.find("event");
+  if (event != nullptr && event->as_string() == "job") {
+    emit(opt, outcome.final_event);
+    return 0;
+  }
+  const Json* message = outcome.final_event.find("message");
+  std::fprintf(stderr, "clktune: %s\n",
+               message != nullptr ? message->as_string().c_str()
+                                  : "connection closed");
+  return 2;
+}
+
+/// `clktune job attach <id>`: stream the job's result frames — replayed
+/// for finished cells, live otherwise — and rebuild the synchronous
+/// artifact from them.  A done scenario job prints exactly what
+/// `clktune run` would; a done campaign job exactly what `clktune sweep`
+/// would (the byte-identity contract that makes a detached submit a
+/// drop-in for the blocking commands).
+int cmd_job_attach(const Options& opt, const std::string& id) {
+  // A status round trip first: attach streams bare result frames, so the
+  // job's kind and name (needed to rebuild a campaign summary) come from
+  // the lifecycle frame.
+  Json status_wire = Json::object();
+  status_wire.set("cmd", "status");
+  status_wire.set("id", id);
+  const clktune::serve::SubmitOutcome status = clktune::serve::submit_raw(
+      opt.host, submit_port(opt), status_wire, {}, submit_timeouts(opt));
+  const Json* event = status.final_event.find("event");
+  if (event == nullptr || event->as_string() != "job")
+    return emit_job_frame(opt, status);
+  const std::string kind = status.final_event.at("kind").as_string();
+  const std::string name = status.final_event.at("name").as_string();
+  const std::size_t total =
+      static_cast<std::size_t>(status.final_event.at("cells_total").as_uint());
+
+  std::size_t streamed = 0;
+  const auto progress = [&](const Json& frame) {
+    if (frame.at("event").as_string() != "result" || opt.quiet) return;
+    const Json& result = frame.at("result");
+    if (opt.progress) {
+      Json line = Json::object();
+      line.set("event", "cell");
+      line.set("index", frame.at("index").as_uint());
+      line.set("name", result.at("name").as_string());
+      line.set("cached", frame.at("cached").as_bool());
+      const std::string text = line.dump(-1) + "\n";
+      std::fputs(text.c_str(), stderr);
+      return;
+    }
+    std::fprintf(stderr, "clktune: [%zu/%zu] %s  yield %.2f%% -> %.2f%%%s\n",
+                 ++streamed, total, result.at("name").as_string().c_str(),
+                 100.0 * result.at("yield").at("original").at("yield")
+                             .as_double(),
+                 100.0 * result.at("yield").at("tuned").at("yield")
+                             .as_double(),
+                 frame.at("cached").as_bool() ? "  (cached)" : "");
+  };
+  Json attach_wire = Json::object();
+  attach_wire.set("cmd", "attach");
+  attach_wire.set("id", id);
+  const clktune::serve::SubmitOutcome stream =
+      clktune::serve::submit_raw(opt.host, submit_port(opt), attach_wire,
+                                 progress, submit_timeouts(opt));
+
+  if (!stream.ok()) {
+    const Json* message = stream.final_event.find("message");
+    std::fprintf(stderr, "clktune: %s\n",
+                 message != nullptr ? message->as_string().c_str()
+                                    : "connection closed mid-stream");
+    return 2;
+  }
+  if (kind == "campaign") {
+    clktune::scenario::CampaignSummary summary;
+    summary.name = name;
+    // Null slots appear only for jobs submitted with an explicit index
+    // selection (the fleet's work units); the kept cells stay in
+    // expansion order, exactly like a shard summary.
+    for (const Json& artifact : stream.results)
+      if (artifact.is_object())
+        summary.results.push_back(
+            clktune::scenario::ScenarioResult::from_json(artifact));
+    summary.recount();
+    emit(opt, summary.to_json(false));
+  } else {
+    emit(opt, stream.results.at(0));
+  }
+  return stream.targets_missed() == 0 ? 0 : 3;
+}
+
+/// `clktune job <verb>` — the client side of the async job service.
+int cmd_job(const Options& opt) {
+  const bool list = !opt.inputs.empty() && opt.inputs[0] == "list";
+  if ((list && opt.inputs.size() != 1) || (!list && opt.inputs.size() != 2) ||
+      (!list && opt.inputs[0] != "status" && opt.inputs[0] != "attach" &&
+       opt.inputs[0] != "cancel")) {
+    std::fprintf(stderr,
+                 "clktune: job expects status|attach|cancel <id> or list\n");
+    print_usage(stderr);
+    return 1;
+  }
+  const std::string& verb = opt.inputs[0];
+
+  if (verb == "list") {
+    Json wire = Json::object();
+    wire.set("cmd", "jobs");
+    const clktune::serve::SubmitOutcome outcome = clktune::serve::submit_raw(
+        opt.host, submit_port(opt), wire, {}, submit_timeouts(opt));
+    const Json* event = outcome.final_event.find("event");
+    if (event == nullptr || event->as_string() != "jobs")
+      return emit_job_frame(opt, outcome);  // prints the error diagnostic
+    emit(opt, outcome.final_event.at("jobs"));
+    return 0;
+  }
+
+  const std::string& id = opt.inputs[1];
+  if (verb == "attach") return cmd_job_attach(opt, id);
+
+  Json wire = Json::object();
+  wire.set("cmd", verb);  // "status" or "cancel"
+  wire.set("id", id);
+  return emit_job_frame(
+      opt, clktune::serve::submit_raw(opt.host, submit_port(opt), wire, {},
+                                      submit_timeouts(opt)));
 }
 
 int cmd_cache(const Options& opt) {
@@ -689,6 +883,7 @@ int main(int argc, char** argv) {
       return expect_inputs(opt, 1) ? cmd_submit(opt) : 1;
     if (opt.command == "fanout")
       return expect_inputs(opt, 1) ? cmd_fanout(opt) : 1;
+    if (opt.command == "job") return cmd_job(opt);
     if (opt.command == "cache") return cmd_cache(opt);
     std::fprintf(stderr, "clktune: unknown command '%s'\n",
                  opt.command.c_str());

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -32,6 +33,10 @@ struct WorkUnit {
   std::size_t attempts = 0;     ///< failed dispatches so far
   std::size_t busy_streak = 0;  ///< consecutive busy rejections
   std::string last_error;
+  /// Job id this unit already holds on each daemon: a re-dispatch to the
+  /// same member re-attaches instead of re-submitting, so cells the
+  /// daemon computed while the stream was down replay from its cache.
+  std::map<std::size_t, std::string> job_ids;
 };
 
 /// Every 8th consecutive busy rejection of one unit costs a retry
@@ -46,24 +51,66 @@ serve::SubmitOptions timeouts_of(const FleetOptions& options) {
   return timeouts;
 }
 
+/// Timeouts for exchanges that answer instantly by design (probe, job
+/// admission, cancel): unlike attach streams — where a computing daemon
+/// is legitimately silent — these always get a bounded read deadline, or
+/// one wedged-but-accepting daemon would hang its dispatcher forever.
+serve::SubmitOptions bounded_timeouts_of(const FleetOptions& options) {
+  serve::SubmitOptions timeouts = timeouts_of(options);
+  if (timeouts.io_timeout_ms <= 0)
+    timeouts.io_timeout_ms = timeouts.connect_timeout_ms > 0
+                                 ? timeouts.connect_timeout_ms
+                                 : 5000;
+  return timeouts;
+}
+
+/// One status round trip; true when the daemon answered (busy counts as
+/// alive-but-saturated, never dead).  The one definition of "healthy",
+/// shared by the up-front probe and mid-campaign re-probing.
+bool probe_member(const FleetMember& member, const FleetOptions& options,
+                  std::string& error) {
+  Json status = Json::object();
+  status.set("cmd", "status");
+  try {
+    const serve::SubmitOutcome outcome = serve::submit_raw(
+        member.host, member.port, status, {}, bounded_timeouts_of(options));
+    const Json* event = outcome.final_event.find("event");
+    if (event != nullptr && event->as_string() == "status") return true;
+    const Json* code = outcome.final_event.find("code");
+    if (code != nullptr && code->is_string() && code->as_string() == "busy")
+      return true;
+    const Json* message = outcome.final_event.find("message");
+    error = message != nullptr ? message->as_string() : "no status response";
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  return false;
+}
+
 /// One campaign's shared dispatch state: the work queue, the recorded
 /// cells, the liveness of every pool member and the terminal flags.  The
 /// per-daemon dispatcher threads all drain the same queue — that is the
-/// whole work-stealing scheme.
+/// whole work-stealing scheme.  An optional monitor thread re-probes
+/// retired members and spawns fresh dispatchers when one rejoins.
 class CampaignDispatch {
  public:
   CampaignDispatch(const FleetSpec& spec, const FleetOptions& options,
-                   const std::vector<std::size_t>& healthy,
+                   const std::vector<char>& alive,
                    const exec::Request& request, exec::Observer* observer)
       : spec_(spec),
         options_(options),
-        healthy_(healthy),
         request_(request),
         observer_(observer),
         document_(request.document()),
         total_cells_(request.expansion_size()),
         cells_(total_cells_),
-        member_dead_(spec.members.size()) {}
+        member_dead_(spec.members.size()) {
+    for (std::size_t m = 0; m < spec_.members.size(); ++m) {
+      member_dead_[m].store(alive[m] == 0);
+      if (alive[m] != 0) ++alive_members_;
+    }
+    initial_alive_ = alive_members_;
+  }
 
   scenario::CampaignSummary run() {
     if (observer_ != nullptr) observer_->on_begin(total_cells_, total_cells_);
@@ -79,15 +126,30 @@ class CampaignDispatch {
       pending_.push_back(std::move(unit));
     }
     outstanding_ = pending_.size();
-    alive_members_ = healthy_.size();
 
-    std::vector<std::thread> dispatchers;
-    if (outstanding_ > 0) {
-      for (const std::size_t member_id : healthy_)
-        for (std::size_t w = 0; w < spec_.members[member_id].weight; ++w)
-          dispatchers.emplace_back([this, member_id] { worker(member_id); });
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (outstanding_ > 0)
+        for (std::size_t m = 0; m < spec_.members.size(); ++m)
+          if (!member_dead_[m].load()) spawn_workers_locked(m);
     }
-    for (std::thread& dispatcher : dispatchers) dispatcher.join();
+    std::thread monitor;
+    if (outstanding_ > 0 && options_.reprobe_interval_ms > 0)
+      monitor = std::thread([this] { monitor_loop(); });
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [this] {
+        return workers_running_ == 0 &&
+               (outstanding_ == 0 || failed_ || cancelled_);
+      });
+      monitor_stop_ = true;
+    }
+    monitor_cv_.notify_all();
+    if (monitor.joinable()) monitor.join();
+    // The monitor was the only late spawner; with it joined the
+    // dispatcher list is final and every thread in it has returned.
+    for (std::thread& dispatcher : dispatchers_) dispatcher.join();
 
     if (cancelled_)
       throw CancelledError("fleet: campaign cancelled by the observer");
@@ -113,6 +175,24 @@ class CampaignDispatch {
     bool cached = false;
   };
 
+  /// Starts this member's dispatchers (weight many).  mutex_ held.
+  void spawn_workers_locked(std::size_t member_id) {
+    const std::size_t weight = spec_.members[member_id].weight;
+    workers_running_ += weight;
+    for (std::size_t w = 0; w < weight; ++w)
+      dispatchers_.emplace_back(
+          [this, member_id] { worker_entry(member_id); });
+  }
+
+  void worker_entry(std::size_t member_id) {
+    worker(member_id);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --workers_running_;
+    }
+    done_cv_.notify_all();
+  }
+
   void worker(std::size_t member_id) {
     for (;;) {
       WorkUnit unit;
@@ -136,32 +216,115 @@ class CampaignDispatch {
     }
   }
 
+  /// Periodically re-probes retired members; a daemon that answers again
+  /// rejoins the pool with fresh dispatchers.  While re-probing is armed,
+  /// an all-dead pool waits instead of failing — bounded by max_retries+1
+  /// consecutive fruitless probe rounds.
+  void monitor_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::size_t all_dead_rounds = 0;
+    const auto interval =
+        std::chrono::milliseconds(options_.reprobe_interval_ms);
+    for (;;) {
+      monitor_cv_.wait_for(lock, interval, [this] {
+        return monitor_stop_ || failed_ || cancelled_ || outstanding_ == 0;
+      });
+      if (monitor_stop_ || failed_ || cancelled_ || outstanding_ == 0)
+        return;
+      std::vector<std::size_t> dead;
+      for (std::size_t m = 0; m < spec_.members.size(); ++m)
+        if (member_dead_[m].load()) dead.push_back(m);
+      if (dead.empty()) {
+        all_dead_rounds = 0;
+        continue;
+      }
+      lock.unlock();  // probes are network round trips
+      std::vector<std::size_t> revived;
+      for (const std::size_t m : dead) {
+        std::string error;
+        if (probe_member(spec_.members[m], options_, error))
+          revived.push_back(m);
+      }
+      lock.lock();
+      if (monitor_stop_ || failed_ || cancelled_ || outstanding_ == 0)
+        return;
+      for (const std::size_t m : revived) {
+        member_dead_[m].store(false);
+        ++alive_members_;
+        spawn_workers_locked(m);
+      }
+      if (!revived.empty()) ready_.notify_all();
+      if (alive_members_ > 0) {
+        all_dead_rounds = 0;
+        continue;
+      }
+      if (++all_dead_rounds > options_.max_retries) {
+        failure_ = "fleet: all " + std::to_string(initial_alive_) +
+                   " daemons lost with " + std::to_string(outstanding_) +
+                   " work units unfinished; no daemon rejoined within " +
+                   std::to_string(all_dead_rounds) + " probe rounds";
+        append_unit_errors_locked();
+        failed_ = true;
+        ready_.notify_all();
+        done_cv_.notify_all();
+        return;
+      }
+    }
+  }
+
   /// One dispatch of one unit to one daemon; returns true when this
   /// dispatcher must exit (its daemon died, the campaign failed or was
-  /// cancelled).  Deliberately speaks the wire protocol itself instead of
-  /// wrapping exec::RemoteExecutor: requeue needs the cells a dying
-  /// daemon streamed before the failure (RemoteExecutor's contract is
-  /// all-or-nothing) and the busy/dead distinction needs the terminal
-  /// frame's "code", which RemoteExecutor folds into an exception string.
+  /// cancelled).  The unit travels through the daemon's durable job
+  /// queue: submit (O(enqueue) admission, or reuse the job a previous
+  /// attempt created), then attach and stream.  Speaking the wire
+  /// protocol directly — rather than wrapping exec::RemoteExecutor —
+  /// keeps the cells a dying daemon streamed before the failure
+  /// (RemoteExecutor's contract is all-or-nothing) and the busy/dead
+  /// distinction of the terminal frame's "code".
   bool dispatch_unit(std::size_t member_id, WorkUnit unit) {
     const FleetMember& member = spec_.members[member_id];
-    Json wire = Json::object();
-    wire.set("cmd", "sweep");
-    wire.set("doc", document_);
-    Json indices = Json::array();
-    for (const std::size_t index : unit.remaining)
-      indices.push_back(static_cast<std::uint64_t>(index));
-    wire.set("indices", std::move(indices));
 
     serve::SubmitOutcome stream;
     std::string error;
     bool transport_failure = false;
+    std::string job_id;
+    const auto known = unit.job_ids.find(member_id);
+    if (known != unit.job_ids.end()) job_id = known->second;
     try {
-      stream = serve::submit_raw(
-          member.host, member.port, wire,
-          [&](const Json& event) { on_stream_event(event); },
-          timeouts_of(options_));
+      if (job_id.empty()) {
+        Json wire = Json::object();
+        wire.set("cmd", "submit");
+        wire.set("doc", document_);
+        Json indices = Json::array();
+        for (const std::size_t index : unit.remaining)
+          indices.push_back(static_cast<std::uint64_t>(index));
+        wire.set("indices", std::move(indices));
+        const serve::SubmitOutcome admitted =
+            serve::submit_raw(member.host, member.port, wire, {},
+                              bounded_timeouts_of(options_));
+        const Json* event = admitted.final_event.find("event");
+        if (event != nullptr && event->as_string() == "job") {
+          job_id = admitted.final_event.at("id").as_string();
+          unit.job_ids[member_id] = job_id;
+        } else {
+          // Busy backpressure, a protocol error or a clean EOF at
+          // admission: fall through to the shared evaluation below.
+          stream = admitted;
+        }
+      }
+      if (!job_id.empty()) {
+        Json wire = Json::object();
+        wire.set("cmd", "attach");
+        wire.set("id", job_id);
+        stream = serve::submit_raw(
+            member.host, member.port, wire,
+            [&](const Json& event) { on_stream_event(event); },
+            timeouts_of(options_));
+      }
     } catch (const CancelledError&) {
+      // Best effort: the daemon keeps the job otherwise, and while its
+      // cells would only warm the cache, cancelling frees its workers.
+      cancel_job(member, job_id);
       const std::lock_guard<std::mutex> lock(mutex_);
       cancelled_ = true;
       ready_.notify_all();
@@ -248,6 +411,19 @@ class CampaignDispatch {
     return exit_worker;
   }
 
+  void cancel_job(const FleetMember& member, const std::string& job_id) {
+    if (job_id.empty()) return;
+    Json wire = Json::object();
+    wire.set("cmd", "cancel");
+    wire.set("id", job_id);
+    try {
+      serve::submit_raw(member.host, member.port, wire, {},
+                        bounded_timeouts_of(options_));
+    } catch (const std::exception&) {
+      // An unreachable daemon cannot be cancelled anyway.
+    }
+  }
+
   void on_stream_event(const Json& event) {
     if (event.at("event").as_string() != "result") return;
     if (observer_ != nullptr && observer_->cancelled())
@@ -270,8 +446,9 @@ class CampaignDispatch {
     }
     // Forward outside the lock: the slot is write-once and the vector
     // never reallocates, so the pointer stays valid.  A duplicate (a
-    // requeued unit whose first owner already streamed this cell) is
-    // dropped so the observer sees every index exactly once.
+    // requeued unit whose first owner already streamed this cell, or a
+    // re-attach replaying cells we already hold) is dropped so the
+    // observer sees every index exactly once.
     if (recorded != nullptr && observer_ != nullptr) {
       exec::CellEvent forwarded{index, *recorded, cached,
                                 cached ? 0.0 : recorded->seconds};
@@ -279,23 +456,31 @@ class CampaignDispatch {
     }
   }
 
-  /// Marks a daemon dead (once) and fails the campaign when it was the
-  /// last one standing with work still unfinished.
+  /// Appends up to three pending units' last errors to failure_.
+  /// mutex_ held.
+  void append_unit_errors_locked() {
+    std::size_t shown = 0;
+    for (const WorkUnit& unit : pending_) {
+      if (unit.last_error.empty()) continue;
+      failure_ +=
+          (shown == 0 ? "; last errors: " : " | ") + unit.last_error;
+      if (++shown == 3) break;
+    }
+  }
+
+  /// Marks a daemon dead (once).  Without re-probing, the death of the
+  /// last daemon with work unfinished fails the campaign; with it, the
+  /// monitor keeps probing and the all-dead bound lives there instead.
   void retire_member(std::size_t member_id) {
     if (member_dead_[member_id].exchange(true)) return;
     const std::lock_guard<std::mutex> lock(mutex_);
     --alive_members_;
-    if (alive_members_ == 0 && outstanding_ > 0 && !failed_ && !cancelled_) {
-      failure_ = "fleet: all " + std::to_string(healthy_.size()) +
+    if (alive_members_ == 0 && outstanding_ > 0 && !failed_ && !cancelled_ &&
+        options_.reprobe_interval_ms <= 0) {
+      failure_ = "fleet: all " + std::to_string(initial_alive_) +
                  " daemons lost with " + std::to_string(outstanding_) +
                  " work units unfinished";
-      std::size_t shown = 0;
-      for (const WorkUnit& unit : pending_) {
-        if (unit.last_error.empty()) continue;
-        failure_ += (shown == 0 ? "; last errors: " : " | ") +
-                    unit.last_error;
-        if (++shown == 3) break;
-      }
+      append_unit_errors_locked();
       failed_ = true;
     }
     ready_.notify_all();
@@ -303,7 +488,6 @@ class CampaignDispatch {
 
   const FleetSpec& spec_;
   const FleetOptions& options_;
-  const std::vector<std::size_t>& healthy_;
   const exec::Request& request_;
   exec::Observer* observer_;
   const Json document_;
@@ -311,9 +495,15 @@ class CampaignDispatch {
 
   std::mutex mutex_;
   std::condition_variable ready_;
+  std::condition_variable done_cv_;      ///< run() completion + worker exits
+  std::condition_variable monitor_cv_;   ///< wakes the monitor early
   std::deque<WorkUnit> pending_;
   std::size_t outstanding_ = 0;  ///< units not yet fully delivered
   std::size_t alive_members_ = 0;
+  std::size_t initial_alive_ = 0;
+  std::size_t workers_running_ = 0;
+  bool monitor_stop_ = false;
+  std::deque<std::thread> dispatchers_;  ///< deque: grows while running
   std::vector<CellSlot> cells_;
   std::vector<std::atomic<bool>> member_dead_;
   bool failed_ = false;
@@ -373,40 +563,10 @@ exec::Outcome FleetExecutor::execute(const exec::Request& request,
     std::vector<std::string> probe_errors(spec_.members.size());
     std::vector<std::thread> probes;
     probes.reserve(spec_.members.size());
-    // A status probe answers instantly by design, so it always gets a
-    // bounded read deadline — unlike units, where a computing daemon is
-    // legitimately silent.  Otherwise one wedged-but-accepting daemon
-    // would hang the whole fanout at the probe join.
-    serve::SubmitOptions probe_timeouts = timeouts_of(options_);
-    if (probe_timeouts.io_timeout_ms <= 0)
-      probe_timeouts.io_timeout_ms = probe_timeouts.connect_timeout_ms > 0
-                                         ? probe_timeouts.connect_timeout_ms
-                                         : 5000;
     for (std::size_t m = 0; m < spec_.members.size(); ++m) {
-      probes.emplace_back([this, m, &alive, &probe_errors, &probe_timeouts] {
-        Json status = Json::object();
-        status.set("cmd", "status");
-        try {
-          const serve::SubmitOutcome outcome =
-              serve::submit_raw(spec_.members[m].host, spec_.members[m].port,
-                                status, {}, probe_timeouts);
-          const Json* event = outcome.final_event.find("event");
-          const Json* code = outcome.final_event.find("code");
-          if (event != nullptr && event->as_string() == "status") {
-            alive[m] = 1;
-          } else if (code != nullptr && code->is_string() &&
-                     code->as_string() == "busy") {
-            // Backpressure means alive-but-saturated, never dead —
-            // dispatch already knows how to back off against it.
-            alive[m] = 1;
-          } else {
-            const Json* message = outcome.final_event.find("message");
-            probe_errors[m] = message != nullptr ? message->as_string()
-                                                 : "no status response";
-          }
-        } catch (const std::exception& e) {
-          probe_errors[m] = e.what();
-        }
+      probes.emplace_back([this, m, &alive, &probe_errors] {
+        if (probe_member(spec_.members[m], options_, probe_errors[m]))
+          alive[m] = 1;
       });
     }
     for (std::thread& probe : probes) probe.join();
@@ -472,7 +632,9 @@ exec::Outcome FleetExecutor::execute(const exec::Request& request,
                     diagnostics);
   }
 
-  CampaignDispatch dispatch(spec_, options_, healthy, request, observer);
+  std::vector<char> alive(spec_.members.size(), 0);
+  for (const std::size_t m : healthy) alive[m] = 1;
+  CampaignDispatch dispatch(spec_, options_, alive, request, observer);
   scenario::CampaignSummary summary = dispatch.run();
   summary.total_seconds = timer.seconds();
   return exec::Outcome::from_summary(std::move(summary), name());

@@ -10,15 +10,25 @@
 // idle.  Each unit travels as a `{"cmd":"sweep","indices":[...]}` request
 // (docs/serve_protocol.md), so the daemons need no fleet awareness at all.
 //
+// Units travel through each daemon's durable job queue: the dispatcher
+// submits the unit as an async job ({"cmd":"submit","indices":[...]}) and
+// then attaches to stream its cells.  Admission is O(enqueue) on the
+// daemon, and because the job outlives the connection, a dispatcher that
+// loses its stream mid-unit re-attaches to the *same* job on retry —
+// cells the daemon kept computing replay instantly from its cache.
+//
 // Fault tolerance: when a daemon dies, times out or rejects with
 // backpressure mid-unit, the cells it already streamed are kept (they are
 // deterministic), the remainder of the unit is requeued for a surviving
-// daemon, and the dead daemon is retired from the pool.  Retries per unit
-// are bounded; exhaustion — or the death of every daemon — fails the
-// campaign with a per-unit diagnostic naming the last error.  Results are
-// merged in expansion order, so a fleet summary is byte-identical to an
-// unsharded LocalExecutor sweep of the same document, even when daemons
-// were lost mid-campaign.
+// daemon, and the dead daemon is retired from the pool.  With re-probing
+// enabled (reprobe_interval_ms) retired daemons are health-checked
+// periodically and rejoin the pool when they answer again — a restarted
+// daemon picks work back up mid-campaign.  Retries per unit are bounded;
+// exhaustion — or the death of every daemon — fails the campaign with a
+// per-unit diagnostic naming the last error.  Results are merged in
+// expansion order, so a fleet summary is byte-identical to an unsharded
+// LocalExecutor sweep of the same document, even when daemons were lost
+// mid-campaign.
 #pragma once
 
 #include <cstddef>
@@ -49,6 +59,12 @@ struct FleetOptions {
   /// retire the unreachable ones up front (dispatch discovers deaths
   /// either way; the probe just fails faster and cheaper).
   bool probe = true;
+  /// Period, in milliseconds, for re-probing retired daemons during a
+  /// campaign so transiently dead members rejoin the pool (0 = never).
+  /// With re-probing on, losing *every* daemon pauses dispatch instead of
+  /// failing it; the campaign fails only after max_retries + 1
+  /// consecutive all-dead probe rounds.
+  int reprobe_interval_ms = 0;
 };
 
 /// exec::Executor backend that fans a request out over a daemon pool.

@@ -4,11 +4,15 @@
 
 #include <cstdio>
 #include <exception>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "exec/local_executor.h"
 #include "exec/observer.h"
 #include "exec/request.h"
+#include "jobs/job.h"
+#include "jobs/job_scheduler.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
 #include "util/json.h"
@@ -90,11 +94,28 @@ ScenarioServer::ScenarioServer(ServeOptions options)
   if (options_.admission_threads == 0) options_.admission_threads = 1;
   // Capacity 0 would reject every connection while handlers sit idle.
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  jobs::JobSchedulerOptions job_options;
+  job_options.workers = options_.job_workers;
+  job_options.threads = options_.threads;
+  job_options.retain_terminal = options_.job_retain;
+  // Job envelopes live inside the cache directory (a sibling subdir, so
+  // cache gc/verify — which scan only top-level files — never touch
+  // them); without a cache dir the job queue is in-memory only.
+  jobs_ = std::make_unique<jobs::JobScheduler>(
+      options_.cache_dir.empty() ? std::string()
+                                 : options_.cache_dir + "/jobs",
+      &cache_, job_options);
 }
+
+ScenarioServer::~ScenarioServer() = default;
 
 void ScenarioServer::start() {
   listener_ = util::tcp_listen(options_.port);
   port_ = util::tcp_local_port(listener_);
+  // Recover persisted jobs and start the worker pool: a daemon restarted
+  // on the same cache dir resumes interrupted jobs before the first
+  // connection arrives.
+  jobs_->start();
 }
 
 void ScenarioServer::serve_forever() {
@@ -174,6 +195,12 @@ void ScenarioServer::serve_forever() {
     const std::lock_guard<std::mutex> lock(active_mutex_);
     for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
+  // Before joining handlers: an attach handler blocks on a job
+  // subscription, not a socket read, so severing its fd alone would not
+  // wake it — stopping the scheduler closes every subscription (and asks
+  // running jobs to yield without marking them terminal, so a restart
+  // recovers them).
+  jobs_->stop();
   for (std::thread& handler : handlers) handler.join();
 }
 
@@ -190,8 +217,11 @@ void ScenarioServer::stop() {
     queue_.clear();
   }
   queue_ready_.notify_all();
-  const std::lock_guard<std::mutex> lock(active_mutex_);
-  for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  {
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  jobs_->stop();
 }
 
 void ScenarioServer::track_connection(int fd, bool add) {
@@ -251,6 +281,16 @@ void ScenarioServer::handle_request(const util::TcpSocket& connection,
     std::fprintf(stderr, "clktune-serve: %s\n", cmd.c_str());
 
   if (cmd == "status") {
+    // With an "id" member this is a *job* status query; without one it is
+    // the daemon-wide status frame (which now also carries job counters).
+    if (const Json* id = request.find("id")) {
+      const std::optional<jobs::JobRecord> job =
+          jobs_->get(id->as_string());
+      if (!job)
+        throw jobs::JobError("unknown job id \"" + id->as_string() + "\"");
+      send_event(connection, job->status_json());
+      return;
+    }
     Json event = Json::object();
     event.set("event", "status");
     event.set("requests", requests_.load());
@@ -258,6 +298,90 @@ void ScenarioServer::handle_request(const util::TcpSocket& connection,
     event.set("rejected", rejected_.load());
     event.set("scenarios_run", scenarios_run_.load());
     event.set("cache", cache_.stats().to_json());
+    event.set("jobs", jobs_->counters());
+    send_event(connection, event);
+    return;
+  }
+
+  if (cmd == "submit") {
+    // Fire-and-forget admission: validate, persist, answer with the job
+    // frame — O(enqueue), no cell of computation on this connection.
+    if (request.contains("shard"))
+      throw jobs::JobError(
+          "submit jobs take an \"indices\" selection, not a shard");
+    std::vector<std::size_t> indices;
+    if (const Json* list = request.find("indices")) {
+      indices.reserve(list->as_array().size());
+      for (const Json& index : list->as_array())
+        indices.push_back(static_cast<std::size_t>(index.as_uint()));
+    }
+    const jobs::JobRecord job =
+        jobs_->submit(request.at("doc"), std::move(indices));
+    send_event(connection, job.status_json());
+    return;
+  }
+
+  if (cmd == "attach") {
+    // Streams exactly what run/sweep would: "result" frames (replayed
+    // from the cache for finished cells, live otherwise) and a terminal
+    // done/error frame derived from the job's state.  No header frame —
+    // clients that need metadata ask `status` first — so the stream
+    // shape matches the synchronous verbs and existing clients (the
+    // fleet dispatcher) consume it unchanged.
+    const std::string id = request.at("id").as_string();
+    bool peer_gone = false;
+    const jobs::JobRecord final_state =
+        jobs_->attach(id, [&](const Json& frame) {
+          try {
+            send_event(connection, frame);
+            return true;
+          } catch (const std::exception&) {
+            peer_gone = true;
+            return false;
+          }
+        });
+    if (peer_gone) return;
+    switch (final_state.state) {
+      case jobs::JobState::done:
+        send_event(connection,
+                   done_event(final_state.done_indices.size(),
+                              final_state.targets_missed,
+                              final_state.cached));
+        return;
+      case jobs::JobState::error:
+        send_error(connection,
+                   "job " + id + " failed: " + final_state.error);
+        return;
+      case jobs::JobState::cancelled: {
+        Json event = Json::object();
+        event.set("event", "error");
+        event.set("code", "cancelled");
+        event.set("message", "job " + id + " was cancelled");
+        send_event(connection, event);
+        return;
+      }
+      default:
+        // Only reachable when the daemon is winding down mid-stream.
+        send_error(connection,
+                   "daemon stopping; job " + id +
+                       " will be recovered on restart — re-attach then");
+        return;
+    }
+  }
+
+  if (cmd == "cancel") {
+    const std::string id = request.at("id").as_string();
+    send_event(connection, jobs_->cancel(id).status_json());
+    return;
+  }
+
+  if (cmd == "jobs") {
+    Json listing = Json::array();
+    for (const jobs::JobRecord& job : jobs_->list())
+      listing.push_back(job.status_json());
+    Json event = Json::object();
+    event.set("event", "jobs");
+    event.set("jobs", std::move(listing));
     send_event(connection, event);
     return;
   }

@@ -13,6 +13,21 @@
 //   {"cmd":"status"}                     -> status
 //   {"cmd":"shutdown"}                   -> done (then the server exits)
 //
+// Async job verbs (the durable submission path, backed by jobs::
+// JobScheduler; see docs/jobs.md):
+//   {"cmd":"submit","doc":{...}}         -> job (queued; returns at once)
+//   {"cmd":"status","id":j}              -> job (lifecycle + progress)
+//   {"cmd":"attach","id":j}              -> result per cell, then done /
+//                                           error — replayed for finished
+//                                           jobs, live otherwise, byte-
+//                                           identical to run/sweep
+//   {"cmd":"cancel","id":j}              -> job
+//   {"cmd":"jobs"}                       -> jobs (every known job)
+// A submit may carry {"indices":[...]} exactly like sweep.  With a
+// --cache-dir, job envelopes persist under <cache_dir>/jobs and a
+// restarted daemon recovers every job: finished ones replay from the
+// result cache, interrupted ones re-queue.
+//
 // A sweep request may carry one of two selection members:
 //   {"shard":{"index":i,"count":n}}   run expansion indices idx % n == i,
 //                                     exactly like `clktune sweep --shard`
@@ -47,6 +62,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -55,6 +71,10 @@
 
 #include "cache/result_cache.h"
 #include "util/socket.h"
+
+namespace clktune::jobs {
+class JobScheduler;
+}
 
 namespace clktune::serve {
 
@@ -69,11 +89,16 @@ struct ServeOptions {
   /// Accepted-but-unclaimed connections held while every handler is busy;
   /// beyond this the daemon rejects with a "busy" backpressure frame.
   std::size_t queue_capacity = 16;
+  /// Async jobs executing concurrently (the submit-verb worker pool).
+  std::size_t job_workers = 2;
+  /// Terminal jobs retained before the oldest envelopes are pruned.
+  std::size_t job_retain = 512;
 };
 
 class ScenarioServer {
  public:
   explicit ScenarioServer(ServeOptions options);
+  ~ScenarioServer();
 
   /// Binds and listens; after this, port() is the actual port.
   void start();
@@ -89,6 +114,7 @@ class ScenarioServer {
   void stop();
 
   cache::ResultCache& cache() { return cache_; }
+  jobs::JobScheduler& scheduler() { return *jobs_; }
 
  private:
   void handler_loop();
@@ -104,6 +130,9 @@ class ScenarioServer {
 
   ServeOptions options_;
   cache::ResultCache cache_;
+  /// The async-job service; envelopes live under <cache_dir>/jobs when a
+  /// cache directory is configured (in-memory otherwise).
+  std::unique_ptr<jobs::JobScheduler> jobs_;
   std::mutex listener_mutex_;
   util::TcpSocket listener_;
   std::uint16_t port_ = 0;

@@ -10,7 +10,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -278,6 +280,52 @@ TEST(FleetFailureTest, AllDaemonsUnreachableFailsWithDiagnostics) {
   } catch (const exec::ExecError& e) {
     EXPECT_NE(std::string(e.what()).find("fleet:"), std::string::npos);
   }
+}
+
+TEST(FleetReprobeTest, RestartedDaemonRejoinsMidCampaign) {
+  const exec::Request request = exec::Request::from_json(small_campaign_doc());
+  exec::LocalExecutor local;
+  const std::string expected = local.execute(request).artifact().dump();
+
+  // The pool's only member is dead at dispatch time; with re-probing on,
+  // the campaign pauses instead of failing and must finish byte-identical
+  // once a daemon comes up on the named port mid-campaign.
+  const std::uint16_t port = dead_port();
+  fleet::FleetSpec pool;
+  pool.members.push_back({"127.0.0.1", port, 1});
+
+  fleet::FleetOptions options;
+  options.probe = false;           // dispatch discovers the death itself
+  options.reprobe_interval_ms = 50;
+  options.max_retries = 100;       // ample all-dead probe rounds
+  fleet::FleetExecutor executor(std::move(pool), options);
+
+  CountingObserver observer;
+  std::string failure;
+  std::string produced;
+  std::thread campaign([&] {
+    try {
+      produced = executor.execute(request, &observer).artifact().dump();
+    } catch (const std::exception& e) {
+      failure = e.what();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  serve::ServeOptions serve_options;
+  serve_options.port = port;
+  serve_options.threads = 2;
+  serve::ScenarioServer server(std::move(serve_options));
+  server.start();
+  std::thread accept([&server] { server.serve_forever(); });
+
+  campaign.join();
+  server.stop();
+  accept.join();
+
+  EXPECT_EQ(failure, "");
+  EXPECT_EQ(produced, expected);
+  EXPECT_TRUE(observer.each_exactly_once(4));
 }
 
 // ---------------------------------------------------------------- scenarios
