@@ -12,6 +12,9 @@
 //                          streaming)
 #pragma once
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -29,6 +32,7 @@
 #include "util/alloc_counter.h"
 #include "util/env.h"
 #include "util/json.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace clktune::bench {
@@ -122,6 +126,31 @@ inline const char* setting_name(int sigmas) {
 /// yields are out-of-sample.
 inline constexpr std::uint64_t kEvalSeed = 0xE7A1;
 
+/// The commit the bench binary ran against: GITHUB_SHA when CI exports it,
+/// otherwise `git rev-parse` against the working tree, otherwise
+/// "unknown".  Advisory provenance — never used for comparisons.
+inline std::string bench_git_sha() {
+  const std::string env = util::env_string("GITHUB_SHA", "");
+  if (!env.empty()) return env;
+  std::string sha;
+  if (std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      sha = buf;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    }
+    ::pclose(pipe);
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+inline std::string bench_hostname() {
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+}
+
 /// Machine-readable benchmark artifact: construct one at the top of a bench
 /// main, feed it counters as the run progresses, and `return report.write()`
 /// at the end.  Writes BENCH_<name>.json into the working directory with
@@ -164,6 +193,15 @@ class BenchReport {
     j.set("samples_per_sec", sps);
     j.set("milp_nodes", milp_nodes_);
     j.set("allocations", allocs_.delta());
+    // Provenance stamp — which commit, where, how parallel — so a stored
+    // BENCH_*.json is attributable long after the run.  Appended after
+    // the standard fields; scripts/perf_gate.sh reads only wall_seconds.
+    j.set("git_sha", bench_git_sha());
+    j.set("hostname", bench_hostname());
+    j.set("threads",
+          static_cast<std::uint64_t>(util::resolve_thread_count(
+              static_cast<std::size_t>(
+                  std::max(0L, util::env_long("CLKTUNE_THREADS", 0))))));
     for (const auto& [key, value] : extra_.as_object()) j.set(key, value);
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream out(path, std::ios::binary | std::ios::trunc);

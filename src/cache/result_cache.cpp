@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "util/sha256.h"
 
 namespace clktune::cache {
@@ -16,6 +17,51 @@ namespace clktune::cache {
 using util::Json;
 
 namespace {
+
+/// Process-wide cache counters (aggregated across every ResultCache
+/// instance — the CLI's, the daemon's, the tests').  The per-instance
+/// CacheStats struct stays the precise per-cache view; these feed the
+/// obs registry so `clktune metrics` sees cache behaviour without a
+/// handle on any particular instance.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& memory_hits;
+  obs::Counter& disk_hits;
+  obs::Counter& self_heals;
+  obs::Counter& puts;
+  obs::Counter& evictions;
+  obs::Counter& bytes_written;
+
+  static CacheMetrics& get() {
+    static CacheMetrics m{
+        obs::Registry::global().counter(
+            "clktune_cache_hits_total",
+            "Result-cache lookups served from memory or disk"),
+        obs::Registry::global().counter(
+            "clktune_cache_misses_total",
+            "Result-cache lookups that had to compute"),
+        obs::Registry::global().counter(
+            "clktune_cache_memory_hits_total",
+            "Cache hits served from the in-memory LRU layer"),
+        obs::Registry::global().counter(
+            "clktune_cache_disk_hits_total",
+            "Cache hits served from the on-disk artifact layer"),
+        obs::Registry::global().counter(
+            "clktune_cache_self_heals_total",
+            "Corrupt disk entries detected and treated as misses"),
+        obs::Registry::global().counter(
+            "clktune_cache_puts_total", "Artifacts stored into the cache"),
+        obs::Registry::global().counter(
+            "clktune_cache_evictions_total",
+            "LRU entries dropped from the memory layer"),
+        obs::Registry::global().counter(
+            "clktune_cache_disk_bytes_written_total",
+            "Bytes of artifact envelopes written to disk"),
+    };
+    return m;
+  }
+};
 
 /// Bumped whenever the artifact schema, the flow's numeric behaviour or
 /// the on-disk entry format changes, so stale entries read as misses
@@ -57,6 +103,7 @@ Json CacheStats::to_json() const {
   j.set("disk_hits", disk_hits);
   j.set("evictions", evictions);
   j.set("puts", puts);
+  j.set("self_heals", self_heals);
   return j;
 }
 
@@ -81,6 +128,10 @@ std::string scenario_cache_key(const scenario::ScenarioSpec& spec) {
 
 ResultCache::ResultCache(std::string directory, std::size_t memory_capacity)
     : directory_(std::move(directory)), memory_capacity_(memory_capacity) {
+  // Register the counter family eagerly so expositions (e.g. `clktune
+  // cache stats --json`) list every cache counter at zero rather than
+  // omitting the ones no operation has touched yet.
+  CacheMetrics::get();
   if (!directory_.empty())
     std::filesystem::create_directories(directory_);
 }
@@ -104,10 +155,12 @@ void ResultCache::insert_memory_locked(const std::string& key,
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;
+    CacheMetrics::get().evictions.inc();
   }
 }
 
 std::optional<Json> ResultCache::get(const std::string& key) {
+  CacheMetrics& metrics = CacheMetrics::get();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = index_.find(key);
@@ -115,9 +168,12 @@ std::optional<Json> ResultCache::get(const std::string& key) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++stats_.hits;
       ++stats_.memory_hits;
+      metrics.hits.inc();
+      metrics.memory_hits.inc();
       return it->second->second;
     }
   }
+  bool self_heal = false;
   if (!directory_.empty()) {
     try {
       // Disk entries are envelopes; a legacy bare artifact, a wrong-key
@@ -130,13 +186,24 @@ std::optional<Json> ResultCache::get(const std::string& key) {
       insert_memory_locked(key, artifact);
       ++stats_.hits;
       ++stats_.disk_hits;
+      metrics.hits.inc();
+      metrics.disk_hits.inc();
       return artifact;
     } catch (const std::exception&) {
-      // Missing or corrupt artifact: fall through to a miss.
+      // Missing or corrupt artifact: fall through to a miss.  A file
+      // that exists but failed to unwrap is a corrupt entry the
+      // recomputation will overwrite — the self-heal path.
+      std::error_code ec;
+      self_heal = std::filesystem::exists(artifact_path(key), ec) && !ec;
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
+  metrics.misses.inc();
+  if (self_heal) {
+    ++stats_.self_heals;
+    metrics.self_heals.inc();
+  }
   return std::nullopt;
 }
 
@@ -156,11 +223,21 @@ void ResultCache::put(const std::string& key, const Json& artifact) {
                           /*indent=*/-1);
     std::error_code ec;
     std::filesystem::rename(tmp_path, final_path, ec);
-    if (ec) std::remove(tmp_path.c_str());
+    if (ec) {
+      std::remove(tmp_path.c_str());
+    } else {
+      std::error_code size_ec;
+      const std::uintmax_t bytes =
+          std::filesystem::file_size(final_path, size_ec);
+      if (!size_ec)
+        CacheMetrics::get().bytes_written.inc(
+            static_cast<std::uint64_t>(bytes));
+    }
   }
   std::lock_guard<std::mutex> lock(mutex_);
   insert_memory_locked(key, artifact);
   ++stats_.puts;
+  CacheMetrics::get().puts.inc();
 }
 
 CacheStats ResultCache::stats() const {

@@ -40,6 +40,9 @@ struct CacheStats {
   std::uint64_t disk_hits = 0;
   std::uint64_t evictions = 0;    ///< LRU entries dropped from memory
   std::uint64_t puts = 0;
+  /// Corrupt disk entries detected (and treated as misses, so the
+  /// recomputation overwrites them).
+  std::uint64_t self_heals = 0;
 
   util::Json to_json() const;
 };

@@ -13,6 +13,10 @@
 //                                      async job on a running server
 //   clktune job list                   every job the server knows
 //   clktune cache stats|gc|verify      maintain an on-disk result cache
+//   clktune metrics [--prom]           fetch a running server's metrics
+//                                      snapshot (JSON, or Prometheus text)
+//   clktune fleet status               probe a daemon pool and render one
+//                                      health/metrics table
 //
 // Every command is a thin composition over the clktune::exec layer: build
 // an exec::Request from the document, pick an Executor (local for run and
@@ -46,6 +50,13 @@
 //       --io-timeout <ms> submit/fanout: response-stream stall deadline
 //                         (default 0 = none; must exceed the slowest cell)
 //       --max-bytes <n>   cache gc: evict oldest entries beyond this size
+//       --trace <file>    run/sweep: write Chrome-trace-event NDJSON spans
+//                         (chrome://tracing / Perfetto; expand, per-cell,
+//                         per-step) to <file>
+//       --prom            metrics: Prometheus text exposition instead of
+//                         the JSON snapshot
+//       --json            cache stats: include process-local registry
+//                         counters; fleet status: JSON instead of a table
 //   -p, --port <n>        serve/submit: TCP port (default 20160; serve: 0
 //                         picks an ephemeral port and prints it)
 //       --timings         include wall-clock fields (artifact is then no
@@ -59,6 +70,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -74,6 +86,9 @@
 #include "exec/observer.h"
 #include "exec/remote_executor.h"
 #include "exec/request.h"
+#include "fleet/fleet_status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
 #include "scenario/summary_diff.h"
@@ -115,6 +130,9 @@ struct Options {
   bool timings = false;
   bool compact = false;
   bool quiet = false;
+  bool prom = false;       ///< metrics: Prometheus text exposition
+  bool json = false;       ///< cache stats / fleet status: JSON output
+  std::string trace_file;  ///< run/sweep: Chrome-trace NDJSON span file
 };
 
 void print_usage(std::FILE* to) {
@@ -135,6 +153,8 @@ void print_usage(std::FILE* to) {
       "  job cancel <id>         cancel a queued or running job\n"
       "  job list                every job the server knows\n"
       "  cache stats|gc|verify   maintain an on-disk result cache\n"
+      "  metrics                 fetch a running server's metrics snapshot\n"
+      "  fleet status            probe a daemon pool, render a health table\n"
       "\n"
       "options:\n"
       "  -o, --output <path>     write the JSON artifact to <path>\n"
@@ -153,6 +173,10 @@ void print_usage(std::FILE* to) {
       "      --connect-timeout <ms>  daemon connect deadline (default 5000)\n"
       "      --io-timeout <ms>   response stall deadline (default 0 = none)\n"
       "      --max-bytes <n>     cache gc size cap in bytes\n"
+      "      --trace <file>      run/sweep: Chrome-trace NDJSON spans\n"
+      "      --prom              metrics: Prometheus text exposition\n"
+      "      --json              cache stats: add registry counters;\n"
+      "                          fleet status: JSON instead of a table\n"
       "  -p, --port <n>          server port (default 20160)\n"
       "      --timings           include wall-clock fields in artifacts\n"
       "      --compact           single-line JSON output\n"
@@ -262,6 +286,12 @@ int parse_options(int argc, char** argv, Options& opt) {
         std::fprintf(stderr, "clktune: --port wants 0..65535\n");
         return 1;
       }
+    } else if (arg == "--trace" && i + 1 < argc) {
+      opt.trace_file = argv[++i];
+    } else if (arg == "--prom") {
+      opt.prom = true;
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg == "--diff") {
       opt.diff = true;
     } else if (arg == "--detach") {
@@ -368,6 +398,7 @@ int cmd_run(const Options& opt) {
                  request.scenario.name.c_str());
   CliObserver observer(opt);
   clktune::exec::LocalExecutor executor;
+  const clktune::obs::TraceSession trace(opt.trace_file);
   const clktune::exec::Outcome outcome =
       executor.execute(request, opt.progress ? &observer : nullptr);
 
@@ -420,7 +451,10 @@ int cmd_sweep(const Options& opt) {
 
   CliObserver observer(opt);
   clktune::exec::LocalExecutor executor;
-  const clktune::exec::Outcome outcome = executor.execute(request, &observer);
+  const clktune::exec::Outcome outcome = [&] {
+    const clktune::obs::TraceSession trace(opt.trace_file);
+    return executor.execute(request, &observer);
+  }();
   emit(opt, outcome.artifact(opt.timings));
   if (!opt.quiet && !opt.progress)
     std::fprintf(stderr,
@@ -697,6 +731,19 @@ int cmd_cache(const Options& opt) {
     Json artifact = Json::object();
     artifact.set("entries", stats.entries);
     artifact.set("bytes", stats.bytes);
+    if (opt.json) {
+      // Process-local registry counters (this invocation's cache traffic);
+      // the disk numbers above describe the directory across processes.
+      // Constructing a ResultCache registers the family, so every counter
+      // is listed (at zero here — the stats scan bypasses the cache).
+      const clktune::cache::ResultCache registrar;
+      Json counters = Json::object();
+      const Json snapshot = clktune::obs::Registry::global().snapshot_json();
+      for (const auto& [id, value] : snapshot.at("counters").as_object())
+        if (id.rfind("clktune_cache_", 0) == 0)
+          counters.set(id, value);
+      artifact.set("counters", std::move(counters));
+    }
     emit(opt, artifact);
     return 0;
   }
@@ -848,6 +895,84 @@ int cmd_report(const Options& opt) {
   return 0;
 }
 
+/// `clktune metrics [--prom]`: one metrics round trip against a running
+/// daemon.  JSON prints the whole frame (version + uptime + registry
+/// snapshot); --prom prints the daemon's Prometheus text exposition raw —
+/// suitable for piping into promtool or a scrape-file exporter.
+int cmd_metrics(const Options& opt) {
+  Json wire = Json::object();
+  wire.set("cmd", "metrics");
+  if (opt.prom) wire.set("format", "prometheus");
+  const clktune::serve::SubmitOutcome outcome = clktune::serve::submit_raw(
+      opt.host, submit_port(opt), wire, {}, submit_timeouts(opt));
+  const Json* event = outcome.final_event.find("event");
+  if (event == nullptr || event->as_string() != "metrics") {
+    const Json* message = outcome.final_event.find("message");
+    std::fprintf(stderr, "clktune: metrics failed: %s\n",
+                 message != nullptr ? message->as_string().c_str()
+                                    : "connection closed");
+    return 2;
+  }
+  if (opt.prom) {
+    const std::string& text = outcome.final_event.at("text").as_string();
+    if (opt.output.empty()) {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      std::ofstream out(opt.output, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "clktune: cannot write %s\n",
+                     opt.output.c_str());
+        return 2;
+      }
+      out << text;
+    }
+    return 0;
+  }
+  emit(opt, outcome.final_event);
+  return 0;
+}
+
+/// `clktune fleet status`: probe every pool member and render one
+/// aggregated health table (or, with --json, the full per-daemon frames).
+/// Exit 0 with every member alive, 3 with some dead, 2 with none alive.
+int cmd_fleet(const Options& opt) {
+  if (opt.inputs.size() != 1 || opt.inputs[0] != "status") {
+    std::fprintf(stderr, "clktune: fleet expects the status verb\n");
+    print_usage(stderr);
+    return 1;
+  }
+  if (opt.daemons.empty() && opt.fleet_file.empty()) {
+    std::fprintf(stderr,
+                 "clktune: fleet status needs --daemons and/or --fleet\n");
+    print_usage(stderr);
+    return 1;
+  }
+  clktune::fleet::FleetSpec pool;
+  if (!opt.fleet_file.empty())
+    pool = clktune::fleet::FleetSpec::from_file(opt.fleet_file);
+  if (!opt.daemons.empty())
+    pool.merge(clktune::fleet::FleetSpec::parse_daemon_list(opt.daemons));
+
+  // Probes answer instantly by design, so they always get a bounded read
+  // deadline — a wedged daemon must render as dead, not hang the table.
+  clktune::serve::SubmitOptions timeouts = submit_timeouts(opt);
+  if (timeouts.io_timeout_ms <= 0)
+    timeouts.io_timeout_ms =
+        timeouts.connect_timeout_ms > 0 ? timeouts.connect_timeout_ms : 5000;
+  const clktune::fleet::PoolStatus status =
+      clktune::fleet::probe_pool(pool, timeouts);
+
+  if (opt.json) {
+    emit(opt, status.to_json());
+  } else {
+    std::ostringstream table;
+    clktune::fleet::render_pool_table(table, status);
+    std::fputs(table.str().c_str(), stdout);
+  }
+  if (status.alive == 0) return 2;
+  return status.dead == 0 ? 0 : 3;
+}
+
 int cmd_serve(const Options& opt) {
   clktune::serve::ServeOptions serve_options;
   serve_options.port =
@@ -885,6 +1010,9 @@ int main(int argc, char** argv) {
       return expect_inputs(opt, 1) ? cmd_fanout(opt) : 1;
     if (opt.command == "job") return cmd_job(opt);
     if (opt.command == "cache") return cmd_cache(opt);
+    if (opt.command == "metrics")
+      return expect_inputs(opt, 0) ? cmd_metrics(opt) : 1;
+    if (opt.command == "fleet") return cmd_fleet(opt);
     std::fprintf(stderr, "clktune: unknown command '%s'\n",
                  opt.command.c_str());
     print_usage(stderr);

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "cache/result_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -14,6 +16,28 @@ namespace clktune::exec {
 using util::Json;
 
 namespace {
+
+/// Cell-level metrics: how many cells were computed vs. served from the
+/// cache, and the wall-time distribution of the computed ones.
+struct CellMetrics {
+  obs::Counter& computed;
+  obs::Counter& cached;
+  obs::Histogram& cell_seconds;
+
+  static CellMetrics& get() {
+    static CellMetrics m{
+        obs::Registry::global().counter("clktune_exec_cells_computed_total",
+                                        "Scenario cells computed"),
+        obs::Registry::global().counter(
+            "clktune_exec_cells_cached_total",
+            "Scenario cells served from the result cache"),
+        obs::Registry::global().histogram(
+            "clktune_exec_cell_seconds",
+            "Wall time of one computed scenario cell", 1e-9),
+    };
+    return m;
+  }
+};
 
 /// Fetches one cell: cache lookup by content key, else a fresh engine run
 /// whose result is stored back.  `threads` caps the cell's inner loops.
@@ -24,15 +48,24 @@ scenario::ScenarioResult run_cell(const scenario::ScenarioSpec& spec,
     const std::string key = cache::scenario_cache_key(spec);
     if (std::optional<Json> artifact = cache->get(key)) {
       cached = true;
+      CellMetrics::get().cached.inc();
       return scenario::ScenarioResult::from_json(*artifact);
     }
     scenario::ScenarioResult result = scenario::run_scenario(spec, threads);
     cache->put(key, result.to_json());
     cached = false;
+    CellMetrics::get().computed.inc();
+    CellMetrics::get().cell_seconds.record(
+        static_cast<std::uint64_t>(result.seconds * 1e9));
     return result;
   }
   cached = false;
-  return scenario::run_scenario(spec, threads);
+  CellMetrics& metrics = CellMetrics::get();
+  scenario::ScenarioResult result = scenario::run_scenario(spec, threads);
+  metrics.computed.inc();
+  metrics.cell_seconds.record(
+      static_cast<std::uint64_t>(result.seconds * 1e9));
+  return result;
 }
 
 void notify(Observer* observer, std::size_t index,
@@ -52,8 +85,11 @@ Outcome execute_scenario(const Request& request, Observer* observer) {
   Outcome outcome;
   outcome.kind = Request::Kind::scenario;
   bool cached = false;
-  outcome.result =
-      run_cell(request.scenario, request.cache, request.threads, cached);
+  {
+    const obs::TraceSpan span("cell:" + request.scenario.name);
+    outcome.result =
+        run_cell(request.scenario, request.cache, request.threads, cached);
+  }
   notify(observer, 0, outcome.result, cached);
   outcome.scenarios_run = 1;
   outcome.scenarios_cached = cached ? 1 : 0;
@@ -64,7 +100,11 @@ Outcome execute_scenario(const Request& request, Observer* observer) {
 
 Outcome execute_campaign(const Request& request, Observer* observer) {
   const util::Stopwatch timer;
-  const std::vector<scenario::ScenarioSpec> all = request.campaign.expand();
+  std::vector<scenario::ScenarioSpec> all;
+  {
+    const obs::TraceSpan span("expand");
+    all = request.campaign.expand();
+  }
 
   // The expansion index is the unit of determinism, so any selection of it
   // partitions a campaign across processes/hosts without coordination: an
@@ -109,8 +149,13 @@ Outcome execute_campaign(const Request& request, Observer* observer) {
             return;
           }
           bool from_cache = false;
-          summary.results[i] = run_cell(all[selected[i]], request.cache,
-                                        /*threads=*/1, from_cache);
+          {
+            const obs::TraceSpan span(
+                obs::trace_enabled() ? "cell:" + all[selected[i]].name
+                                     : std::string());
+            summary.results[i] = run_cell(all[selected[i]], request.cache,
+                                          /*threads=*/1, from_cache);
+          }
           cached[i] = from_cache ? 1 : 0;
           notify(observer, selected[i], summary.results[i], from_cache);
         }

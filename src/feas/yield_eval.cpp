@@ -4,10 +4,42 @@
 #include <cmath>
 
 #include "mc/arc_constants.h"
+#include "obs/metrics.h"
 #include "util/assert.h"
 #include "util/thread_pool.h"
 
 namespace clktune::feas {
+
+namespace {
+
+/// MC hot-path metrics.  The evaluate() loops record into these from the
+/// worker threads: one counter add per *chunk* (not per sample) and one
+/// timed solve every 64th sample, so the instrumentation stays strictly
+/// bounded — sample_feasible itself is untouched, which is what keeps the
+/// zero-allocation assertions and the perf gate honest.
+struct McMetrics {
+  obs::Counter& samples;
+  obs::Histogram& solve_seconds;
+
+  static McMetrics& get() {
+    static McMetrics m{
+        obs::Registry::global().counter(
+            "clktune_mc_samples_total",
+            "Monte-Carlo feasibility samples evaluated"),
+        obs::Registry::global().histogram(
+            "clktune_mc_solve_seconds",
+            "Per-sample feasibility solve wall time (sampled 1-in-64)",
+            1e-9),
+    };
+    return m;
+  }
+};
+
+/// Stride of the per-sample timing probe: every 64th solve pays two
+/// steady-clock reads, the rest pay nothing.
+constexpr std::uint64_t kSolveTimingStride = 64;
+
+}  // namespace
 
 void YieldEvaluator::add_static_edge(int u, int v, std::int64_t w) {
   // Constraint x_u - x_v <= w: edge v -> u with weight w.
@@ -176,11 +208,21 @@ YieldResult YieldEvaluator::evaluate(const mc::Sampler& sampler,
   const std::size_t workers = util::resolve_thread_count(
       threads <= 0 ? 0 : static_cast<std::size_t>(threads));
   std::vector<std::uint64_t> passing(workers, 0);
-  util::parallel_chunks(static_cast<std::size_t>(samples), workers,
-                        [&](std::size_t w, std::size_t begin, std::size_t end) {
-                          for (std::size_t k = begin; k < end; ++k)
-                            passing[w] += sample_feasible(sampler, k) ? 1 : 0;
-                        });
+  util::parallel_chunks(
+      static_cast<std::size_t>(samples), workers,
+      [&](std::size_t w, std::size_t begin, std::size_t end) {
+        McMetrics& metrics = McMetrics::get();
+        for (std::size_t k = begin; k < end; ++k) {
+          if ((k & (kSolveTimingStride - 1)) == 0) {
+            const std::uint64_t t0 = obs::steady_now_ns();
+            passing[w] += sample_feasible(sampler, k) ? 1 : 0;
+            metrics.solve_seconds.record(obs::steady_now_ns() - t0);
+          } else {
+            passing[w] += sample_feasible(sampler, k) ? 1 : 0;
+          }
+        }
+        metrics.samples.inc(end - begin);
+      });
   YieldResult result;
   result.samples = samples;
   for (std::uint64_t p : passing) result.passing += p;
@@ -202,12 +244,20 @@ YieldResult YieldEvaluator::evaluate(mc::SampleDelayCache& delays,
   util::parallel_chunks(
       static_cast<std::size_t>(samples), workers,
       [&](std::size_t w, std::size_t begin, std::size_t end) {
+        McMetrics& metrics = McMetrics::get();
         mc::ArcSample scratch;
         for (std::size_t k = begin; k < end; ++k) {
           const mc::ArcDelaysView view =
               fill ? delays.fill(k, scratch) : delays.get(k, scratch);
-          passing[w] += sample_feasible(view) ? 1 : 0;
+          if ((k & (kSolveTimingStride - 1)) == 0) {
+            const std::uint64_t t0 = obs::steady_now_ns();
+            passing[w] += sample_feasible(view) ? 1 : 0;
+            metrics.solve_seconds.record(obs::steady_now_ns() - t0);
+          } else {
+            passing[w] += sample_feasible(view) ? 1 : 0;
+          }
         }
+        metrics.samples.inc(end - begin);
       });
   YieldResult result;
   result.samples = samples;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exec/remote_executor.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "util/timer.h"
 
@@ -22,6 +23,52 @@ using exec::ExecError;
 using util::Json;
 
 namespace {
+
+/// Fleet-dispatch metrics in the process-wide obs registry (these live in
+/// the *dispatching* process — the CLI or whoever drives FleetExecutor —
+/// not in the daemons).
+struct FleetMetrics {
+  obs::Counter& dispatched;
+  obs::Counter& requeues;
+  obs::Counter& busy;
+  obs::Counter& probe_failures;
+
+  static FleetMetrics& get() {
+    static FleetMetrics m{
+        obs::Registry::global().counter("clktune_fleet_units_dispatched_total",
+                                        "Work-unit dispatches attempted"),
+        obs::Registry::global().counter(
+            "clktune_fleet_requeues_total",
+            "Work units returned to the queue after a failed dispatch"),
+        obs::Registry::global().counter(
+            "clktune_fleet_busy_total",
+            "Dispatches answered with busy backpressure"),
+        obs::Registry::global().counter(
+            "clktune_fleet_probe_failures_total",
+            "Health probes a pool member failed to answer"),
+    };
+    return m;
+  }
+};
+
+/// Per-daemon in-flight gauge with RAII accounting, so every exit path of
+/// a dispatch — success, requeue, transport death, cancel — decrements.
+class InflightGuard {
+ public:
+  explicit InflightGuard(const std::string& endpoint)
+      : gauge_(obs::Registry::global().gauge(
+            "clktune_fleet_inflight_units",
+            "Work units currently dispatched to this daemon",
+            {{"daemon", endpoint}})) {
+    gauge_.add(1);
+  }
+  ~InflightGuard() { gauge_.add(-1); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  obs::Gauge& gauge_;
+};
 
 /// A slice of the campaign expansion owed to the fleet.  `remaining`
 /// shrinks as dispatches stream cells back — a unit that lost its daemon
@@ -84,6 +131,7 @@ bool probe_member(const FleetMember& member, const FleetOptions& options,
   } catch (const std::exception& e) {
     error = e.what();
   }
+  FleetMetrics::get().probe_failures.inc();
   return false;
 }
 
@@ -283,6 +331,8 @@ class CampaignDispatch {
   /// distinction of the terminal frame's "code".
   bool dispatch_unit(std::size_t member_id, WorkUnit unit) {
     const FleetMember& member = spec_.members[member_id];
+    FleetMetrics::get().dispatched.inc();
+    const InflightGuard inflight(member.endpoint());
 
     serve::SubmitOutcome stream;
     std::string error;
@@ -374,6 +424,7 @@ class CampaignDispatch {
         // But a pool that *stays* saturated must not spin forever either,
         // so a long busy streak slowly bleeds into the attempt count.
         if (busy) {
+          FleetMetrics::get().busy.inc();
           ++unit.busy_streak;
           if (unit.busy_streak % kBusyPerAttempt == 0) ++unit.attempts;
         } else {
@@ -391,6 +442,7 @@ class CampaignDispatch {
                      " dispatches; last: " + unit.last_error;
           exit_worker = true;
         } else {
+          FleetMetrics::get().requeues.inc();
           pending_.push_back(std::move(unit));
         }
       }

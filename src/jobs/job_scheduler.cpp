@@ -7,6 +7,7 @@
 #include "exec/local_executor.h"
 #include "exec/observer.h"
 #include "exec/request.h"
+#include "obs/metrics.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
 
@@ -15,6 +16,39 @@ namespace clktune::jobs {
 using util::Json;
 
 namespace {
+
+/// Job-service metrics in the process-wide obs registry.  Per-state
+/// gauges are sampled from JobStore at exposition time (see the serve
+/// metrics verb), so only event counters and latencies live here.
+struct JobMetrics {
+  obs::Counter& submitted;
+  obs::Counter& checkpoints;
+  obs::Histogram& queue_wait;
+  obs::Histogram& run_seconds;
+
+  static JobMetrics& get() {
+    static JobMetrics m{
+        obs::Registry::global().counter("clktune_jobs_submitted_total",
+                                        "Jobs admitted via submit"),
+        obs::Registry::global().counter(
+            "clktune_jobs_checkpoints_total",
+            "Per-cell checkpoints persisted to job envelopes"),
+        obs::Registry::global().histogram(
+            "clktune_jobs_queue_wait_seconds",
+            "Submit-to-claim latency of the job queue", 1e-9),
+        obs::Registry::global().histogram(
+            "clktune_jobs_run_seconds",
+            "Executor wall time of one job, claim to terminal", 1e-9),
+    };
+    return m;
+  }
+};
+
+obs::Counter& jobs_completed(const char* state) {
+  return obs::Registry::global().counter(
+      "clktune_jobs_completed_total", "Jobs reaching a terminal state",
+      {{"state", state}});
+}
 
 /// Observer adapter: the scheduler wires per-job lambdas in, so the
 /// checkpoint/broadcast plumbing stays inside JobScheduler.
@@ -119,6 +153,11 @@ JobRecord JobScheduler::submit(const util::Json& doc,
       campaign ? request.campaign.name : request.scenario.name,
       std::move(indices), cells_total);
   store_.prune_terminal(options_.retain_terminal);
+  JobMetrics::get().submitted.inc();
+  {
+    const std::lock_guard<std::mutex> lock(obs_mutex_);
+    queued_at_ns_[rec.id] = obs::steady_now_ns();
+  }
   queue_ready_.notify_one();
   return rec;
 }
@@ -192,8 +231,18 @@ void JobScheduler::worker_loop() {
 
 void JobScheduler::run_job(JobRecord job) {
   const std::string id = job.id;
+  {
+    const std::lock_guard<std::mutex> lock(obs_mutex_);
+    const auto stamp = queued_at_ns_.find(id);
+    if (stamp != queued_at_ns_.end()) {
+      JobMetrics::get().queue_wait.record(obs::steady_now_ns() -
+                                          stamp->second);
+      queued_at_ns_.erase(stamp);
+    }
+  }
   if (cancel_requested(id)) {
     store_.set_state(id, JobState::cancelled);
+    jobs_completed("cancelled").inc();
     {
       const std::lock_guard<std::mutex> lock(cancel_mutex_);
       cancel_requested_.erase(id);
@@ -213,6 +262,7 @@ void JobScheduler::run_job(JobRecord job) {
     // submit() validated this document once, but a recovered envelope
     // could have aged across schema changes — fail the job, not the pool.
     store_.set_state(id, JobState::error, e.what());
+    jobs_completed("error").inc();
     close_subscribers(id);
     return;
   }
@@ -230,24 +280,30 @@ void JobScheduler::run_job(JobRecord job) {
         } catch (const std::exception&) {
           // Observer contract: never throw from on_cell.
         }
+        JobMetrics::get().checkpoints.inc();
         broadcast(id, result_frame(event.index, event.cached,
                                    event.result.to_json()));
       },
       [this, &id] { return cancel_requested(id) || stopping_.load(); });
 
   exec::LocalExecutor executor;
+  const std::uint64_t run_start_ns = obs::steady_now_ns();
   try {
     executor.execute(request, &observer);
     store_.set_state(id, JobState::done);
+    jobs_completed("done").inc();
   } catch (const exec::CancelledError&) {
     if (cancel_requested(id) || !stopping_.load()) {
       store_.set_state(id, JobState::cancelled);
+      jobs_completed("cancelled").inc();
     }
     // else: daemon wind-down, not a user cancel — the envelope stays
     // `running` on disk so recovery re-queues the job on restart.
   } catch (const std::exception& e) {
     store_.set_state(id, JobState::error, e.what());
+    jobs_completed("error").inc();
   }
+  JobMetrics::get().run_seconds.record(obs::steady_now_ns() - run_start_ns);
   {
     const std::lock_guard<std::mutex> lock(cancel_mutex_);
     cancel_requested_.erase(id);

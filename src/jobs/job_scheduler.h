@@ -26,6 +26,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -132,6 +133,13 @@ class JobScheduler {
 
   mutable std::mutex cancel_mutex_;
   std::set<std::string> cancel_requested_;
+
+  /// Steady-clock submission stamps, consumed (and erased) by the worker
+  /// that claims the job to record queue-wait latency.  A recovered job
+  /// has no stamp — its pre-restart wait is unknowable, so it records
+  /// nothing rather than a lie.
+  mutable std::mutex obs_mutex_;
+  std::map<std::string, std::uint64_t> queued_at_ns_;
 
   mutable std::mutex sub_mutex_;
   std::map<std::string, std::vector<std::shared_ptr<Subscription>>> subs_;

@@ -18,6 +18,11 @@ using util::Json;
 
 namespace {
 
+/// Wall-clock (system_clock) on purpose: created_ms/updated_ms are
+/// *display timestamps* persisted in job envelopes and shown to humans —
+/// they must mean calendar time across process restarts.  No duration is
+/// ever derived from them; every duration metric in the codebase comes
+/// from steady_clock (util::Stopwatch, obs::steady_now_ns).
 std::uint64_t now_ms() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(

@@ -1,0 +1,328 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace clktune::obs {
+
+using util::Json;
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t shard_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+std::uint64_t Histogram::Snapshot::count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  return total;
+}
+
+double Histogram::Snapshot::upper_bound(std::size_t b) const {
+  // Bucket 0 holds exactly the value 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) * unit_scale;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= rank) return upper_bound(b);
+  }
+  return upper_bound(kBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::snapshot(double unit_scale) const {
+  Snapshot snap;
+  snap.unit_scale = unit_scale;
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b)
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_acquire);
+    snap.sum_raw += shard.sum.load(std::memory_order_acquire);
+  }
+  return snap;
+}
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    if (alpha) continue;
+    if (i > 0 && c >= '0' && c <= '9') continue;
+    return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    if (alpha) continue;
+    if (i > 0 && c >= '0' && c <= '9') continue;
+    return false;
+  }
+  return true;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Canonical label suffix `{k="v",...}` with keys sorted; empty labels
+/// yield an empty string.  This string is part of the metric identity.
+std::string label_suffix(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += escape_label_value(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Locale-independent shortest number formatting for exposition values.
+std::string format_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter representation when it round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Entry& Registry::entry(Kind kind, const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels, double unit_scale) {
+  if (!valid_metric_name(name))
+    throw std::invalid_argument("obs: invalid metric name \"" + name + "\"");
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [key, value] : sorted) {
+    (void)value;
+    if (!valid_label_name(key))
+      throw std::invalid_argument("obs: invalid label name \"" + key +
+                                  "\" on metric " + name);
+  }
+  const std::string identity = name + label_suffix(sorted);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(identity);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind)
+      throw std::invalid_argument("obs: metric " + identity +
+                                  " already registered as a different kind");
+    if (kind == Kind::histogram && it->second.unit_scale != unit_scale)
+      throw std::invalid_argument("obs: histogram " + identity +
+                                  " already registered with a different"
+                                  " unit_scale");
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = name;
+  entry.labels = std::move(sorted);
+  entry.help = help;
+  entry.unit_scale = unit_scale;
+  switch (kind) {
+    case Kind::counter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::gauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::histogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return entries_.emplace(identity, std::move(entry)).first->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  return *entry(Kind::counter, name, help, labels, 1.0).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  return *entry(Kind::gauge, name, help, labels, 1.0).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help, double unit_scale,
+                               const Labels& labels) {
+  return *entry(Kind::histogram, name, help, labels, unit_scale).histogram;
+}
+
+util::Json Registry::snapshot_json() const {
+  Json counters = Json::object();
+  Json gauges = Json::object();
+  Json histograms = Json::object();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [identity, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::counter:
+        counters.set(identity, entry.counter->value());
+        break;
+      case Kind::gauge:
+        gauges.set(identity,
+                   static_cast<double>(entry.gauge->value()));
+        break;
+      case Kind::histogram: {
+        const Histogram::Snapshot snap =
+            entry.histogram->snapshot(entry.unit_scale);
+        Json h = Json::object();
+        h.set("count", snap.count());
+        h.set("sum", snap.sum());
+        h.set("p50", snap.quantile(0.50));
+        h.set("p90", snap.quantile(0.90));
+        h.set("p99", snap.quantile(0.99));
+        Json buckets = Json::array();
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          if (snap.buckets[b] == 0) continue;
+          Json pair = Json::array();
+          pair.push_back(snap.upper_bound(b));
+          pair.push_back(snap.buckets[b]);
+          buckets.push_back(std::move(pair));
+        }
+        h.set("buckets", std::move(buckets));
+        histograms.set(identity, std::move(h));
+        break;
+      }
+    }
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+std::string Registry::prometheus_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Group by family first: the identity ordering interleaves label-bearing
+  // entries of one name with other names ("foo_bar" sorts between "foo"
+  // and "foo{...}"), and the exposition format requires one HELP/TYPE
+  // block per family with all its series together.
+  std::map<std::string, std::vector<const Entry*>> families;
+  for (const auto& [identity, entry] : entries_) {
+    (void)identity;
+    families[entry.name].push_back(&entry);
+  }
+  std::string out;
+  for (const auto& [family, members] : families) {
+    (void)family;
+    const Entry& first = *members.front();
+    out += "# HELP " + first.name + " " + first.help + "\n";
+    out += "# TYPE " + first.name + " ";
+    switch (first.kind) {
+      case Kind::counter:
+        out += "counter\n";
+        break;
+      case Kind::gauge:
+        out += "gauge\n";
+        break;
+      case Kind::histogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const Entry* member : members) {
+      const Entry& entry = *member;
+      const std::string suffix = label_suffix(entry.labels);
+      switch (entry.kind) {
+        case Kind::counter:
+          out += entry.name + suffix + " " +
+                 std::to_string(entry.counter->value()) + "\n";
+          break;
+        case Kind::gauge:
+          out += entry.name + suffix + " " +
+                 std::to_string(entry.gauge->value()) + "\n";
+          break;
+        case Kind::histogram: {
+          const Histogram::Snapshot snap =
+              entry.histogram->snapshot(entry.unit_scale);
+          // Cumulative buckets; empty ranges are elided except the
+          // mandatory +Inf.  The `le` label joins any user labels.
+          std::string label_prefix = "{";
+          for (const auto& [key, value] : entry.labels)
+            label_prefix += key + "=\"" + escape_label_value(value) + "\",";
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+            if (snap.buckets[b] == 0) continue;
+            cumulative += snap.buckets[b];
+            out += entry.name + "_bucket" + label_prefix + "le=\"" +
+                   format_number(snap.upper_bound(b)) + "\"} " +
+                   std::to_string(cumulative) + "\n";
+          }
+          out += entry.name + "_bucket" + label_prefix + "le=\"+Inf\"} " +
+                 std::to_string(cumulative) + "\n";
+          out += entry.name + "_sum" + suffix + " " +
+                 format_number(snap.sum()) + "\n";
+          out += entry.name + "_count" + suffix + " " +
+                 std::to_string(cumulative) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace clktune::obs

@@ -1,0 +1,216 @@
+// Process-wide observability metrics: counters, gauges and fixed-bucket
+// latency histograms behind one registry, exposed as a JSON snapshot and
+// as Prometheus text exposition.
+//
+// Design constraints, in order:
+//   1. Hot-path recording must be cheap enough for the Monte-Carlo kernel:
+//      a Counter::inc / Histogram::record is one relaxed atomic RMW on a
+//      thread-sharded cache line — no locks, no allocation, no branches on
+//      the recording path.  Call sites cache the metric reference (a
+//      function-local static), so the registry's name lookup happens once
+//      per process, never per event.
+//   2. Reads are snapshot-consistent per metric: value() / snapshot() sum
+//      the shards with acquire ordering.  Concurrent recording never loses
+//      events — a snapshot taken mid-burst sees a valid prefix.
+//   3. Exposition is deterministic: the registry iterates metrics in
+//      sorted identity order, so two snapshots of the same state are
+//      byte-identical.
+//
+// Histograms use fixed log2 buckets: a raw value v (an integer, typically
+// nanoseconds) lands in bucket bit_width(v) — 65 buckets cover the whole
+// uint64 range with one `std::bit_width` instruction and no configuration.
+// `unit_scale` converts raw units into exposition units (1e-9 for ns →
+// seconds), so Prometheus `le` bounds come out in seconds as the naming
+// convention requires.
+//
+// Naming follows Prometheus: metric names match [a-zA-Z_:][a-zA-Z0-9_:]*,
+// counters end in `_total`, duration histograms in `_seconds`.  Metric
+// identity is name + sorted label set; registering the same identity twice
+// returns the same object, registering it as a different kind throws.
+// docs/observability.md is the metric catalog.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace clktune::obs {
+
+/// Monotonic nanoseconds (steady_clock).  Every duration metric in the
+/// process derives from this — never from wall-clock time, which steps.
+std::uint64_t steady_now_ns() noexcept;
+
+/// Recording shards per metric.  Threads are assigned a fixed slot
+/// round-robin, so two concurrent recorders usually touch different cache
+/// lines; readers sum all shards.
+inline constexpr std::size_t kShards = 8;
+
+/// This thread's shard slot (stable for the thread's lifetime).
+std::size_t shard_slot() noexcept;
+
+/// Monotonically increasing event count.  Thread-safe, lock-free.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    shards_[shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_)
+      total += shard.v.load(std::memory_order_acquire);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// A point-in-time signed level (queue depth, in-flight units).  Writers
+/// use add()/set(); a gauge is not sharded — levels are updated at event
+/// granularity, not sample granularity.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed log2-bucket histogram over non-negative integer values (raw
+/// units; by convention nanoseconds for durations).  Recording is one
+/// bit_width plus two relaxed adds on this thread's shard.
+class Histogram {
+ public:
+  /// Bucket b holds values with bit_width(v) == b: b=0 is exactly 0,
+  /// b>=1 covers [2^(b-1), 2^b).  65 buckets span all of uint64.
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t v) noexcept {
+    Shard& shard = shards_[shard_slot()];
+    shard.buckets[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};  ///< non-cumulative
+    std::uint64_t sum_raw = 0;
+    double unit_scale = 1.0;
+
+    /// Total recordings — derived from the buckets, so count and buckets
+    /// are consistent by construction within one snapshot.
+    std::uint64_t count() const;
+    double sum() const { return static_cast<double>(sum_raw) * unit_scale; }
+    /// Inclusive upper bound of bucket b, in exposition units.
+    double upper_bound(std::size_t b) const;
+    /// Upper-bound estimate of the q-quantile (0 < q <= 1) in exposition
+    /// units; 0 when empty.
+    double quantile(double q) const;
+  };
+
+  /// unit_scale set by the registry at registration (1e-9 for ns).
+  Snapshot snapshot(double unit_scale) const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Sorted key/value label pairs; part of a metric's identity.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// The process-wide metric directory.  global() is the instance every
+/// layer records into; standalone instances exist for tests.  Lookup
+/// methods are mutex-guarded (cache the returned reference on hot paths);
+/// returned references stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  /// Find-or-create.  `help` is recorded on first registration.  Throws
+  /// std::invalid_argument on an invalid name/label or when the identity
+  /// is already registered as a different kind (or, for histograms, a
+  /// different unit_scale).
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       double unit_scale, const Labels& labels = {});
+
+  /// {"counters":{id:n,...},"gauges":{id:v,...},
+  ///  "histograms":{id:{"count","sum","p50","p90","p99",
+  ///                    "buckets":[[le,count],...]},...}}
+  /// Identities are `name` or `name{k="v",...}` with labels sorted;
+  /// histogram buckets list only non-empty ones, non-cumulative.
+  util::Json snapshot_json() const;
+
+  /// Prometheus text exposition format (HELP/TYPE per metric family,
+  /// cumulative `_bucket{le=...}` + `_sum` + `_count` for histograms,
+  /// label values escaped per the spec).
+  std::string prometheus_text() const;
+
+ private:
+  enum class Kind { counter, gauge, histogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    Labels labels;
+    std::string help;
+    double unit_scale = 1.0;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(Kind kind, const std::string& name, const std::string& help,
+               const Labels& labels, double unit_scale);
+
+  mutable std::mutex mutex_;
+  /// Keyed by the exposition identity; sorted, so iteration (and thus
+  /// every exposition) is deterministic.
+  std::map<std::string, Entry> entries_;
+};
+
+/// Records elapsed steady-clock nanoseconds into a histogram at scope
+/// exit.  The histogram should be registered with unit_scale 1e-9.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) : h_(&h), start_(steady_now_ns()) {}
+  ~ScopedTimer() { h_->record(steady_now_ns() - start_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+}  // namespace clktune::obs

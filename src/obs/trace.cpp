@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace clktune::obs {
+
+namespace {
+
+struct TraceState {
+  std::mutex mutex;
+  std::ofstream out;
+  std::uint64_t epoch_ns = 0;
+};
+
+std::atomic<bool> g_enabled{false};
+
+TraceState& state() {
+  static TraceState instance;
+  return instance;
+}
+
+/// Small dense tids (Chrome renders one row per tid); assigned on a
+/// thread's first completed span.
+std::uint64_t thread_trace_id() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// JSON string escaping for span names (control chars, quote, backslash).
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void start_trace(const std::string& path) {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.out.close();
+  s.out.clear();
+  s.out.open(path, std::ios::binary | std::ios::trunc);
+  if (!s.out)
+    throw std::runtime_error("obs: cannot open trace file " + path);
+  s.epoch_ns = steady_now_ns();
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void stop_trace() {
+  g_enabled.store(false, std::memory_order_release);
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.out.is_open()) {
+    s.out.flush();
+    s.out.close();
+  }
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!trace_enabled()) return;
+  name_ = name;
+  start_ns_ = steady_now_ns();
+  active_ = true;
+}
+
+TraceSpan::TraceSpan(const std::string& name) {
+  if (!trace_enabled()) return;
+  name_ = name;
+  start_ns_ = steady_now_ns();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  // A span that outlives stop_trace is dropped (the file is closed); one
+  // that started before start_trace never armed.
+  if (!active_ || !trace_enabled()) return;
+  const std::uint64_t end_ns = steady_now_ns();
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.out.is_open()) return;
+  // Clamp: a span straddling a re-start_trace() has an epoch newer than
+  // its own start.
+  const std::uint64_t rel_ns =
+      start_ns_ > s.epoch_ns ? start_ns_ - s.epoch_ns : 0;
+  const double ts_us = static_cast<double>(rel_ns) / 1000.0;
+  const double dur_us = static_cast<double>(end_ns - start_ns_) / 1000.0;
+  std::string line = "{\"name\":\"";
+  append_escaped(line, name_);
+  line += "\",\"cat\":\"clktune\",\"ph\":\"X\",\"ts\":";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ts_us);
+  line += buf;
+  line += ",\"dur\":";
+  std::snprintf(buf, sizeof(buf), "%.3f", dur_us);
+  line += buf;
+  line += ",\"pid\":";
+  line += std::to_string(static_cast<std::uint64_t>(::getpid()));
+  line += ",\"tid\":";
+  line += std::to_string(thread_trace_id());
+  line += "}\n";
+  s.out << line;
+}
+
+}  // namespace clktune::obs

@@ -1,0 +1,72 @@
+// Scoped trace spans emitting Chrome-trace-event NDJSON.
+//
+// Tracing is a process-wide switch: start_trace(path) opens the output
+// file and arms span recording, stop_trace() flushes and disarms.  While
+// disarmed (the default), constructing a TraceSpan costs one relaxed
+// atomic load and records nothing — spans are safe to leave in place on
+// every path that is not sample-hot.
+//
+// Each completed span becomes one line:
+//   {"name":"cell s9234_muT","cat":"clktune","ph":"X","ts":12.3,
+//    "dur":4567.8,"pid":1234,"tid":2}
+// ts/dur are microseconds; ts is relative to start_trace, from
+// steady_clock.  The line stream loads directly into chrome://tracing or
+// Perfetto (JSON Array Format accepts a bare event-per-line list wrapped
+// in [] — `clktune run --trace` emits NDJSON; wrap or use Perfetto's
+// ndjson ingestion).  Spans nest by time on one tid, which is how the
+// expand → per-cell → per-step hierarchy renders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clktune::obs {
+
+/// True between start_trace and stop_trace.  Relaxed load; hot-path
+/// callers may check it to skip building span names.
+bool trace_enabled() noexcept;
+
+/// Opens (truncates) `path` and arms tracing.  Throws std::runtime_error
+/// when the file cannot be opened.  Calling while already armed switches
+/// the output file.
+void start_trace(const std::string& path);
+
+/// Disarms tracing and flushes + closes the output.  No-op when disarmed.
+void stop_trace();
+
+/// RAII span: records [construction, destruction) as one complete ("X")
+/// event when tracing is armed at construction.  The name is copied only
+/// when armed, so a disarmed span never allocates beyond its argument.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  explicit TraceSpan(const std::string& name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Arms tracing for a scope (the CLI's --trace flag): start on
+/// construction when a path is given, stop on destruction — exceptions
+/// included, so a failed run still leaves a loadable trace file.
+class TraceSession {
+ public:
+  explicit TraceSession(const std::string& path) : armed_(!path.empty()) {
+    if (armed_) start_trace(path);
+  }
+  ~TraceSession() {
+    if (armed_) stop_trace();
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  bool armed_;
+};
+
+}  // namespace clktune::obs

@@ -10,6 +10,7 @@
 #include "netlist/bench_io.h"
 #include "netlist/nominal_sta.h"
 #include "netlist/paper_circuits.h"
+#include "obs/trace.h"
 #include "ssta/seq_graph.h"
 #include "util/timer.h"
 
@@ -462,13 +463,17 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, int threads) {
   const util::Stopwatch timer;
   spec.validate();
 
-  netlist::Design design = spec.design.build();
-  spec.variation.apply(design);
-  const ssta::SeqGraph graph = ssta::extract_seq_graph(design);
-
   ScenarioResult result;
   result.name = spec.name;
   result.setting = spec.clock.label();
+
+  netlist::Design design = spec.design.build();
+  ssta::SeqGraph graph;
+  {
+    const obs::TraceSpan span("design_build");
+    spec.variation.apply(design);
+    graph = ssta::extract_seq_graph(design);
+  }
   result.num_flipflops = graph.num_ffs;
   result.num_gates = static_cast<int>(design.netlist.gates().size());
   result.num_arcs = graph.arcs.size();
@@ -477,6 +482,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, int threads) {
   if (spec.clock.period_ps) {
     period = *spec.clock.period_ps;
   } else {
+    const obs::TraceSpan span("period_mc");
     const mc::Sampler period_sampler(graph, spec.clock.period_seed);
     const mc::PeriodStats stats = mc::sample_min_period(
         period_sampler, spec.clock.period_samples, threads);
@@ -489,11 +495,17 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, int threads) {
   core::InsertionConfig config = spec.insertion;
   if (threads > 0) config.threads = threads;
   core::BufferInsertionEngine engine(design, graph, period, config);
-  result.insertion = engine.run();
+  {
+    const obs::TraceSpan span("insertion");
+    result.insertion = engine.run();
+  }
 
-  result.yield = feas::evaluate_yield_report(
-      graph, result.insertion.plan, period, spec.evaluation.seed,
-      spec.evaluation.samples, threads);
+  {
+    const obs::TraceSpan span("yield_eval");
+    result.yield = feas::evaluate_yield_report(
+        graph, result.insertion.plan, period, spec.evaluation.seed,
+        spec.evaluation.samples, threads);
+  }
   result.met_target =
       !spec.yield_target || result.yield.tuned.yield >= *spec.yield_target;
   result.seconds = timer.seconds();

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <exception>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "exec/request.h"
 #include "jobs/job.h"
 #include "jobs/job_scheduler.h"
+#include "obs/metrics.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
 #include "util/json.h"
@@ -22,6 +24,52 @@ namespace clktune::serve {
 using util::Json;
 
 namespace {
+
+/// Serve-layer admission metrics in the process-wide obs registry.
+struct ServeMetrics {
+  obs::Counter& connections;
+  obs::Counter& busy;
+  obs::Gauge& queue_depth;
+
+  static ServeMetrics& get() {
+    static ServeMetrics m{
+        obs::Registry::global().counter(
+            "clktune_serve_connections_total", "Connections accepted"),
+        obs::Registry::global().counter(
+            "clktune_serve_busy_rejections_total",
+            "Connections rejected with the busy backpressure frame"),
+        obs::Registry::global().gauge(
+            "clktune_serve_queue_depth",
+            "Accepted connections waiting for a handler"),
+    };
+    return m;
+  }
+};
+
+/// Per-verb request counter + latency histogram.  Unknown cmd strings
+/// collapse into one "other" label so a misbehaving client cannot grow
+/// the registry without bound.
+const std::string& verb_label(const std::string& cmd) {
+  static const std::string known[] = {"run",    "sweep",  "status",
+                                      "metrics", "submit", "attach",
+                                      "cancel", "jobs",   "shutdown"};
+  static const std::string other = "other";
+  for (const std::string& verb : known)
+    if (verb == cmd) return verb;
+  return other;
+}
+
+obs::Histogram& verb_latency(const std::string& verb) {
+  return obs::Registry::global().histogram(
+      "clktune_serve_request_seconds",
+      "Request handling latency by verb", 1e-9, {{"verb", verb}});
+}
+
+obs::Counter& verb_requests(const std::string& verb) {
+  return obs::Registry::global().counter(
+      "clktune_serve_requests_total", "Requests handled by verb",
+      {{"verb", verb}});
+}
 
 void send_event(const util::TcpSocket& connection, const Json& event) {
   util::tcp_write_all(connection, event.dump(-1) + "\n");
@@ -112,6 +160,7 @@ ScenarioServer::~ScenarioServer() = default;
 void ScenarioServer::start() {
   listener_ = util::tcp_listen(options_.port);
   port_ = util::tcp_local_port(listener_);
+  started_at_ = std::chrono::steady_clock::now();
   // Recover persisted jobs and start the worker pool: a daemon restarted
   // on the same cache dir resumes interrupted jobs before the first
   // connection arrives.
@@ -128,12 +177,15 @@ void ScenarioServer::serve_forever() {
     util::TcpSocket connection = util::tcp_accept(listener_);
     if (!connection.valid()) break;  // listener closed by stop()/shutdown
     ++connections_;
+    ServeMetrics::get().connections.inc();
     bool admitted = false;
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
       if (queue_.size() < options_.queue_capacity) {
         queue_.push_back(std::move(connection));
         admitted = true;
+        ServeMetrics::get().queue_depth.set(
+            static_cast<std::int64_t>(queue_.size()));
       }
     }
     if (admitted) {
@@ -147,6 +199,7 @@ void ScenarioServer::serve_forever() {
     // with it unread would turn the close into a TCP reset that discards
     // the busy frame, so drain the buffered bytes (non-blocking) first.
     ++rejected_;
+    ServeMetrics::get().busy.inc();
     util::tcp_drain_pending(connection);
     Json busy = Json::object();
     busy.set("event", "error");
@@ -246,6 +299,8 @@ void ScenarioServer::handler_loop() {
       if (stop_.load()) return;  // wind-down already drained the queue
       connection = std::move(queue_.front());
       queue_.pop_front();
+      ServeMetrics::get().queue_depth.set(
+          static_cast<std::int64_t>(queue_.size()));
     }
     handle_connection(std::move(connection));
   }
@@ -272,6 +327,12 @@ void ScenarioServer::handle_connection(util::TcpSocket connection) {
   track_connection(connection.fd(), /*add=*/false);
 }
 
+double ScenarioServer::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_at_)
+      .count();
+}
+
 void ScenarioServer::handle_request(const util::TcpSocket& connection,
                                     const std::string& line) {
   const Json request = Json::parse(line);
@@ -279,7 +340,17 @@ void ScenarioServer::handle_request(const util::TcpSocket& connection,
   ++requests_;
   if (!options_.quiet)
     std::fprintf(stderr, "clktune-serve: %s\n", cmd.c_str());
+  // Time the dispatch even when it throws — an error frame is still a
+  // served request, and failures must not hide from the latency series.
+  const std::string& verb = verb_label(cmd);
+  verb_requests(verb).inc();
+  const obs::ScopedTimer timer(verb_latency(verb));
+  handle_command(connection, cmd, request);
+}
 
+void ScenarioServer::handle_command(const util::TcpSocket& connection,
+                                    const std::string& cmd,
+                                    const Json& request) {
   if (cmd == "status") {
     // With an "id" member this is a *job* status query; without one it is
     // the daemon-wide status frame (which now also carries job counters).
@@ -293,12 +364,48 @@ void ScenarioServer::handle_request(const util::TcpSocket& connection,
     }
     Json event = Json::object();
     event.set("event", "status");
+    event.set("version", kProtocolVersion);
+    event.set("uptime_seconds", uptime_seconds());
     event.set("requests", requests_.load());
     event.set("connections", connections_.load());
     event.set("rejected", rejected_.load());
     event.set("scenarios_run", scenarios_run_.load());
     event.set("cache", cache_.stats().to_json());
     event.set("jobs", jobs_->counters());
+    send_event(connection, event);
+    return;
+  }
+
+  if (cmd == "metrics") {
+    // Job gauges are refreshed here (and only here) rather than on every
+    // lifecycle transition: the scheduler already keeps exact per-state
+    // counts, so sampling them at exposition time is cheaper and cannot
+    // drift.
+    const Json jobs = jobs_->counters();
+    obs::Registry& registry = obs::Registry::global();
+    static const char* kStates[] = {"queued", "preparing", "running"};
+    for (const char* state : kStates) {
+      const Json* count = jobs.find(state);
+      registry
+          .gauge("clktune_jobs_" + std::string(state),
+                 "Jobs currently in this lifecycle state")
+          .set(count ? static_cast<std::int64_t>(count->as_uint()) : 0);
+    }
+    Json event = Json::object();
+    event.set("event", "metrics");
+    event.set("version", kProtocolVersion);
+    event.set("uptime_seconds", uptime_seconds());
+    const Json* format = request.find("format");
+    if (format && format->as_string() == "prometheus") {
+      event.set("format", "prometheus");
+      event.set("text", registry.prometheus_text());
+    } else if (format && format->as_string() != "json") {
+      throw std::runtime_error("metrics: unknown format \"" +
+                               format->as_string() +
+                               "\" (expected \"json\" or \"prometheus\")");
+    } else {
+      event.set("metrics", registry.snapshot_json());
+    }
     send_event(connection, event);
     return;
   }

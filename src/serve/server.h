@@ -11,6 +11,10 @@
 //   {"cmd":"run","doc":{scenario}}       -> result, done
 //   {"cmd":"sweep","doc":{campaign}}     -> result per finished cell, done
 //   {"cmd":"status"}                     -> status
+//   {"cmd":"metrics"}                    -> metrics (obs registry snapshot;
+//                                           {"format":"prometheus"} swaps
+//                                           the JSON snapshot for text
+//                                           exposition in a "text" member)
 //   {"cmd":"shutdown"}                   -> done (then the server exits)
 //
 // Async job verbs (the durable submission path, backed by jobs::
@@ -40,8 +44,12 @@
 //   result: {"event":"result","index":i,"cached":bool,"result":{artifact}}
 //   done:   {"event":"done","ok":true,"scenarios_run":n,
 //            "targets_missed":m,"cached":c}
-//   status: {"event":"status","requests":r,"connections":k,"rejected":j,
-//            "scenarios_run":n,"cache":{hits,misses,...}}
+//   status: {"event":"status","version":v,"uptime_seconds":s,"requests":r,
+//            "connections":k,"rejected":j,"scenarios_run":n,
+//            "cache":{hits,misses,...},"jobs":{queued,...}}
+//   metrics:{"event":"metrics","version":v,"uptime_seconds":s,
+//            "metrics":{counters,gauges,histograms} | "format":
+//            "prometheus","text":"..."}
 //   error:  {"event":"error","message":"..."[,"code":"busy"]}
 //
 // Sweep results stream in completion order, tagged with their global
@@ -59,6 +67,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -77,6 +86,11 @@ class JobScheduler;
 }
 
 namespace clktune::serve {
+
+/// Wire protocol version, carried by the status and metrics frames.
+/// Bumped on incompatible frame-shape changes (additive members do not
+/// count); v1 is the first versioned protocol.
+inline constexpr std::uint64_t kProtocolVersion = 1;
 
 struct ServeOptions {
   std::uint16_t port = 0;   ///< 0 = ephemeral (query via ScenarioServer::port)
@@ -119,8 +133,13 @@ class ScenarioServer {
  private:
   void handler_loop();
   void handle_connection(util::TcpSocket connection);
+  /// Parses one request line and times its dispatch into the per-verb
+  /// latency histogram.
   void handle_request(const util::TcpSocket& connection,
                       const std::string& line);
+  void handle_command(const util::TcpSocket& connection,
+                      const std::string& cmd, const util::Json& request);
+  double uptime_seconds() const;
   /// Registry of fds handlers are blocked on, so stop() can sever them.
   void track_connection(int fd, bool add);
   /// Serialised listener close: the shutdown verb runs on handler
@@ -137,6 +156,9 @@ class ScenarioServer {
   util::TcpSocket listener_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  /// start() time; uptime_seconds derives from this, steady so it never
+  /// jumps with wall-clock adjustments.
+  std::chrono::steady_clock::time_point started_at_{};
 
   std::mutex queue_mutex_;
   std::condition_variable queue_ready_;
