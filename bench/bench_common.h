@@ -23,6 +23,7 @@
 
 #include "core/engine.h"
 #include "core/insertion_config.h"
+#include "fault/fault.h"
 #include "feas/yield_eval.h"
 #include "mc/period_mc.h"
 #include "mc/sampler.h"
@@ -51,6 +52,10 @@ struct BenchConfig {
   }
 
   static BenchConfig from_env() {
+    // Honour CLKTUNE_FAULT_PLAN in benches too: a bench under faults is a
+    // chaos experiment, and the report stamps `faults_injected` so the
+    // perf gate can prove production numbers ran disarmed.
+    fault::arm_from_environment();
     BenchConfig cfg;
     cfg.samples = static_cast<std::uint64_t>(
         util::env_long("CLKTUNE_SAMPLES", 10000));
@@ -193,9 +198,14 @@ class BenchReport {
     j.set("samples_per_sec", sps);
     j.set("milp_nodes", milp_nodes_);
     j.set("allocations", allocs_.delta());
+    // Faults fired during the run.  Nonzero means the fault registry was
+    // armed — the numbers describe a chaos experiment, not performance;
+    // scripts/perf_gate.sh refuses such a report outright.
+    j.set("faults_injected", fault::injected_total());
     // Provenance stamp — which commit, where, how parallel — so a stored
     // BENCH_*.json is attributable long after the run.  Appended after
-    // the standard fields; scripts/perf_gate.sh reads only wall_seconds.
+    // the standard fields; scripts/perf_gate.sh gates on wall_seconds and
+    // refuses reports with nonzero faults_injected.
     j.set("git_sha", bench_git_sha());
     j.set("hostname", bench_hostname());
     j.set("threads",

@@ -1,15 +1,13 @@
 #include "cache/result_cache.h"
 
-#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <system_error>
 
-#include <unistd.h>
-
 #include "obs/metrics.h"
+#include "util/fs.h"
 #include "util/sha256.h"
 
 namespace clktune::cache {
@@ -32,6 +30,8 @@ struct CacheMetrics {
   obs::Counter& puts;
   obs::Counter& evictions;
   obs::Counter& bytes_written;
+  obs::Counter& write_failures;
+  obs::Gauge& degraded;
 
   static CacheMetrics& get() {
     static CacheMetrics m{
@@ -58,6 +58,13 @@ struct CacheMetrics {
         obs::Registry::global().counter(
             "clktune_cache_disk_bytes_written_total",
             "Bytes of artifact envelopes written to disk"),
+        obs::Registry::global().counter(
+            "clktune_cache_write_failures_total",
+            "Disk commits of cache entries that failed"),
+        obs::Registry::global().gauge(
+            "clktune_cache_degraded",
+            "1 when a cache instance has degraded to read-only after a "
+            "disk write failure"),
     };
     return m;
   }
@@ -104,6 +111,7 @@ Json CacheStats::to_json() const {
   j.set("evictions", evictions);
   j.set("puts", puts);
   j.set("self_heals", self_heals);
+  j.set("write_failures", write_failures);
   return j;
 }
 
@@ -207,31 +215,36 @@ std::optional<Json> ResultCache::get(const std::string& key) {
   return std::nullopt;
 }
 
+void ResultCache::degrade(const char* reason) {
+  if (degraded_.exchange(true, std::memory_order_relaxed)) return;
+  CacheMetrics::get().degraded.set(1);
+  // One warning per instance, not one per put: a full disk would
+  // otherwise turn a million-cell campaign into a million log lines.
+  std::fprintf(stderr,
+               "clktune: warning: cache disk write failed (%s); cache "
+               "degraded to read-only — existing entries and the memory "
+               "layer keep serving, new results are not persisted\n",
+               reason);
+}
+
 void ResultCache::put(const std::string& key, const Json& artifact) {
-  if (!directory_.empty()) {
-    // Write-then-rename so concurrent readers never see a torn artifact.
-    // The temp name is unique per writer (pid + counter): two processes or
-    // threads racing on the same key must not interleave into one file.
-    static std::atomic<std::uint64_t> sequence{0};
-    const std::string final_path = artifact_path(key);
-    std::string tmp_path = final_path;
-    tmp_path += ".tmp.";
-    tmp_path += std::to_string(::getpid());
-    tmp_path += '.';
-    tmp_path += std::to_string(sequence.fetch_add(1));
-    util::write_json_file(tmp_path, wrap_disk_entry(key, artifact),
-                          /*indent=*/-1);
-    std::error_code ec;
-    std::filesystem::rename(tmp_path, final_path, ec);
-    if (ec) {
-      std::remove(tmp_path.c_str());
-    } else {
-      std::error_code size_ec;
-      const std::uintmax_t bytes =
-          std::filesystem::file_size(final_path, size_ec);
-      if (!size_ec)
-        CacheMetrics::get().bytes_written.inc(
-            static_cast<std::uint64_t>(bytes));
+  if (!directory_.empty() && !degraded_.load(std::memory_order_relaxed)) {
+    std::string payload = wrap_disk_entry(key, artifact).dump(-1);
+    payload.push_back('\n');
+    try {
+      // Crash-durable commit (fsync file + directory): a result that was
+      // served is a result that survives power loss.  Readers racing the
+      // rename see either the old complete entry or the new one.
+      util::write_file_atomic(artifact_path(key), payload,
+                              /*durable=*/true, /*fault_site=*/"cache");
+      CacheMetrics::get().bytes_written.inc(payload.size());
+    } catch (const std::exception& e) {
+      // Losing persistence must never abort the run that is computing
+      // results — degrade to read-only and keep going.
+      CacheMetrics::get().write_failures.inc();
+      degrade(e.what());
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.write_failures;
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);

@@ -18,6 +18,7 @@
 // seen.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -43,6 +44,9 @@ struct CacheStats {
   /// Corrupt disk entries detected (and treated as misses, so the
   /// recomputation overwrites them).
   std::uint64_t self_heals = 0;
+  /// Disk commits that failed (ENOSPC, permissions, injected faults).
+  /// The first failure flips the cache into read-only degraded mode.
+  std::uint64_t write_failures = 0;
 
   util::Json to_json() const;
 };
@@ -81,8 +85,15 @@ class ResultCache {
   /// LRU).  Thread-safe.  A corrupt disk entry is treated as a miss.
   std::optional<util::Json> get(const std::string& key);
 
-  /// Stores an artifact under `key` in both layers.  Thread-safe.
+  /// Stores an artifact under `key` in both layers.  Thread-safe.  A disk
+  /// commit failure (ENOSPC, ...) does NOT throw: the cache degrades to
+  /// read-only mode — memory layer and existing disk entries keep serving,
+  /// new artifacts are simply not persisted — because losing cache reuse
+  /// must never abort a multi-hour campaign.
   void put(const std::string& key, const util::Json& artifact);
+
+  /// True once a disk commit has failed and the disk layer went read-only.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
   CacheStats stats() const;
   const std::string& directory() const { return directory_; }
@@ -93,8 +104,11 @@ class ResultCache {
   void insert_memory_locked(const std::string& key,
                             const util::Json& artifact);
 
+  void degrade(const char* reason);
+
   std::string directory_;
   std::size_t memory_capacity_;
+  std::atomic<bool> degraded_{false};
 
   mutable std::mutex mutex_;
   /// Most-recently-used first; maps hold iterators into this list.

@@ -12,6 +12,8 @@
 //   clktune job status|attach|cancel <id>   inspect / stream / stop an
 //                                      async job on a running server
 //   clktune job list                   every job the server knows
+//   clktune job prune [--keep N]       drop terminal job envelopes
+//   clktune drain                      ask a server to drain and exit
 //   clktune cache stats|gc|verify      maintain an on-disk result cache
 //   clktune metrics [--prom]           fetch a running server's metrics
 //                                      snapshot (JSON, or Prometheus text)
@@ -67,6 +69,11 @@
 // Exit codes: 0 success, 1 usage error, 2 bad input file / structural diff
 // mismatch / merge rejection, 3 a scenario missed its yield target or a
 // diff cell regressed.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -74,6 +81,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/maintenance.h"
@@ -86,6 +94,7 @@
 #include "exec/observer.h"
 #include "exec/remote_executor.h"
 #include "exec/request.h"
+#include "fault/fault.h"
 #include "fleet/fleet_status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -133,6 +142,10 @@ struct Options {
   bool prom = false;       ///< metrics: Prometheus text exposition
   bool json = false;       ///< cache stats / fleet status: JSON output
   std::string trace_file;  ///< run/sweep: Chrome-trace NDJSON span file
+  std::string fault_plan;  ///< fault-injection plan (inline JSON or path)
+  std::size_t keep = 0;           ///< job prune: terminal envelopes kept
+  int stall_timeout_ms = 0;       ///< serve: stuck-job watchdog (0 = off)
+  int drain_grace_ms = 5000;      ///< serve: graceful-drain grace window
 };
 
 void print_usage(std::FILE* to) {
@@ -152,6 +165,8 @@ void print_usage(std::FILE* to) {
       "  job attach <id>         stream a job's results (replay or live)\n"
       "  job cancel <id>         cancel a queued or running job\n"
       "  job list                every job the server knows\n"
+      "  job prune [--keep <n>]  drop terminal job envelopes beyond n\n"
+      "  drain                   ask a server to drain gracefully and exit\n"
       "  cache stats|gc|verify   maintain an on-disk result cache\n"
       "  metrics                 fetch a running server's metrics snapshot\n"
       "  fleet status            probe a daemon pool, render a health table\n"
@@ -174,6 +189,15 @@ void print_usage(std::FILE* to) {
       "      --io-timeout <ms>   response stall deadline (default 0 = none)\n"
       "      --max-bytes <n>     cache gc size cap in bytes\n"
       "      --trace <file>      run/sweep: Chrome-trace NDJSON spans\n"
+      "      --keep <n>          job prune: terminal envelopes kept\n"
+      "      --stall-timeout <ms>  serve: re-queue jobs with no checkpoint\n"
+      "                          progress for this long (default 0 = off)\n"
+      "      --drain-grace <ms>  serve: drain wait for in-flight work\n"
+      "                          before hard wind-down (default 5000)\n"
+      "      --fault-plan <p>    arm the deterministic fault-injection\n"
+      "                          registry: inline JSON or a plan file\n"
+      "                          (docs/robustness.md; also via the\n"
+      "                          CLKTUNE_FAULT_PLAN environment variable)\n"
       "      --prom              metrics: Prometheus text exposition\n"
       "      --json              cache stats: add registry counters;\n"
       "                          fleet status: JSON instead of a table\n"
@@ -288,6 +312,25 @@ int parse_options(int argc, char** argv, Options& opt) {
       }
     } else if (arg == "--trace" && i + 1 < argc) {
       opt.trace_file = argv[++i];
+    } else if (arg == "--fault-plan" && i + 1 < argc) {
+      opt.fault_plan = argv[++i];
+    } else if (arg == "--keep" && i + 1 < argc) {
+      const long keep = std::atol(argv[++i]);
+      if (keep < 0) {
+        std::fprintf(stderr, "clktune: --keep wants >= 0\n");
+        return 1;
+      }
+      opt.keep = static_cast<std::size_t>(keep);
+    } else if (arg == "--stall-timeout" && i + 1 < argc) {
+      if (!parse_timeout_ms(argv[++i], opt.stall_timeout_ms)) {
+        std::fprintf(stderr, "clktune: --stall-timeout wants milliseconds\n");
+        return 1;
+      }
+    } else if (arg == "--drain-grace" && i + 1 < argc) {
+      if (!parse_timeout_ms(argv[++i], opt.drain_grace_ms)) {
+        std::fprintf(stderr, "clktune: --drain-grace wants milliseconds\n");
+        return 1;
+      }
     } else if (arg == "--prom") {
       opt.prom = true;
     } else if (arg == "--json") {
@@ -677,16 +720,31 @@ int cmd_job_attach(const Options& opt, const std::string& id) {
 
 /// `clktune job <verb>` — the client side of the async job service.
 int cmd_job(const Options& opt) {
-  const bool list = !opt.inputs.empty() && opt.inputs[0] == "list";
-  if ((list && opt.inputs.size() != 1) || (!list && opt.inputs.size() != 2) ||
-      (!list && opt.inputs[0] != "status" && opt.inputs[0] != "attach" &&
+  const bool bare = !opt.inputs.empty() &&
+                    (opt.inputs[0] == "list" || opt.inputs[0] == "prune");
+  if ((bare && opt.inputs.size() != 1) || (!bare && opt.inputs.size() != 2) ||
+      (!bare && opt.inputs[0] != "status" && opt.inputs[0] != "attach" &&
        opt.inputs[0] != "cancel")) {
     std::fprintf(stderr,
-                 "clktune: job expects status|attach|cancel <id> or list\n");
+                 "clktune: job expects status|attach|cancel <id>, list or"
+                 " prune\n");
     print_usage(stderr);
     return 1;
   }
   const std::string& verb = opt.inputs[0];
+
+  if (verb == "prune") {
+    Json wire = Json::object();
+    wire.set("cmd", "prune");
+    wire.set("keep", static_cast<std::uint64_t>(opt.keep));
+    const clktune::serve::SubmitOutcome outcome = clktune::serve::submit_raw(
+        opt.host, submit_port(opt), wire, {}, submit_timeouts(opt));
+    const Json* event = outcome.final_event.find("event");
+    if (event == nullptr || event->as_string() != "pruned")
+      return emit_job_frame(opt, outcome);  // prints the error diagnostic
+    emit(opt, outcome.final_event);
+    return 0;
+  }
 
   if (verb == "list") {
     Json wire = Json::object();
@@ -973,6 +1031,20 @@ int cmd_fleet(const Options& opt) {
   return status.dead == 0 ? 0 : 3;
 }
 
+/// `clktune drain`: ask a running server to stop admission, finish its
+/// in-flight work and exit — the remote form of SIGTERM.
+int cmd_drain(const Options& opt) {
+  Json wire = Json::object();
+  wire.set("cmd", "drain");
+  const clktune::serve::SubmitOutcome outcome = clktune::serve::submit_raw(
+      opt.host, submit_port(opt), wire, {}, submit_timeouts(opt));
+  const Json* event = outcome.final_event.find("event");
+  if (event == nullptr || event->as_string() != "draining")
+    return emit_job_frame(opt, outcome);  // prints the error diagnostic
+  emit(opt, outcome.final_event);
+  return 0;
+}
+
 int cmd_serve(const Options& opt) {
   clktune::serve::ServeOptions serve_options;
   serve_options.port =
@@ -980,12 +1052,50 @@ int cmd_serve(const Options& opt) {
   serve_options.threads = opt.threads;
   serve_options.cache_dir = opt.cache_dir;
   serve_options.quiet = opt.quiet;
+  serve_options.job_stall_timeout_ms = opt.stall_timeout_ms;
+  serve_options.drain_grace_ms = opt.drain_grace_ms;
   clktune::serve::ScenarioServer server(std::move(serve_options));
+
+  // Graceful shutdown: block SIGTERM/SIGINT before any thread exists so
+  // every thread the server spawns inherits the mask, then sink them in a
+  // dedicated watcher.  The first signal drains (stop admission, finish
+  // in-flight frames, checkpoint running jobs, exit 0 — a restarted
+  // daemon recovers the rest); a second one exits immediately.
+  sigset_t drain_signals;
+  sigemptyset(&drain_signals);
+  sigaddset(&drain_signals, SIGTERM);
+  sigaddset(&drain_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &drain_signals, nullptr);
+
   server.start();
   // Machine-readable so scripts can scrape the (possibly ephemeral) port.
   std::printf("clktune: serving on 127.0.0.1:%u\n", server.port());
   std::fflush(stdout);
+
+  std::atomic<bool> watcher_done{false};
+  std::thread watcher([&] {
+    int seen = 0;
+    while (!watcher_done.load()) {
+      timespec wait{};
+      wait.tv_nsec = 200 * 1000 * 1000;  // poll the done flag at 5 Hz
+      const int sig = sigtimedwait(&drain_signals, nullptr, &wait);
+      if (sig != SIGTERM && sig != SIGINT) continue;  // timeout or EINTR
+      if (++seen == 1) {
+        std::fprintf(stderr,
+                     "clktune: caught signal %d, draining (again to force"
+                     " exit)\n",
+                     sig);
+        server.drain();
+      } else {
+        std::fprintf(stderr, "clktune: second signal, exiting now\n");
+        _exit(130);
+      }
+    }
+  });
+
   server.serve_forever();
+  watcher_done.store(true);
+  watcher.join();
   if (!opt.quiet) std::fprintf(stderr, "clktune: server stopped\n");
   return 0;
 }
@@ -993,10 +1103,20 @@ int cmd_serve(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A daemon writing to a client that already hung up must see EPIPE from
+  // the send, not die; every other command tolerates it too.
+  std::signal(SIGPIPE, SIG_IGN);
   Options opt;
   const int usage = parse_options(argc, argv, opt);
   if (usage != 0) return usage;
   try {
+    // Fault injection arms before any command runs so every site in the
+    // process — including cache construction — is covered.  A malformed
+    // plan is a structural input error: exit 2 like any bad JSON file.
+    if (!opt.fault_plan.empty())
+      clktune::fault::arm_from_spec(opt.fault_plan);
+    else
+      clktune::fault::arm_from_environment();
     if (opt.command == "run")
       return expect_inputs(opt, 1) ? cmd_run(opt) : 1;
     if (opt.command == "sweep")
@@ -1009,6 +1129,8 @@ int main(int argc, char** argv) {
     if (opt.command == "fanout")
       return expect_inputs(opt, 1) ? cmd_fanout(opt) : 1;
     if (opt.command == "job") return cmd_job(opt);
+    if (opt.command == "drain")
+      return expect_inputs(opt, 0) ? cmd_drain(opt) : 1;
     if (opt.command == "cache") return cmd_cache(opt);
     if (opt.command == "metrics")
       return expect_inputs(opt, 0) ? cmd_metrics(opt) : 1;

@@ -1,0 +1,265 @@
+#include "fault/fault.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/env.h"
+
+namespace clktune::fault {
+
+using util::Json;
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+/// One armed rule.  Mutated only under the plan mutex — injection sites
+/// are I/O seams, so a lock on the *armed* path costs nothing compared to
+/// the syscall it precedes (the disarmed path never reaches it).
+struct Rule {
+  Action action = Action::none;
+  std::uint64_t nth = 0;     ///< fire exactly on this hit (1-based)
+  std::uint64_t every = 0;   ///< fire on every k-th hit
+  double probability = 0.0;  ///< else: fire per-hit with this probability
+  std::uint64_t count = 0;   ///< max fires, 0 = unlimited
+  int delay_ms = 0;
+  std::size_t keep_bytes = 0;
+  std::mt19937_64 rng{0};
+
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+
+  bool triggers() {
+    ++hits;
+    if (count != 0 && fires >= count) return false;
+    if (nth != 0) return hits == nth;
+    if (every != 0) return hits % every == 0;
+    if (probability > 0.0)
+      return std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
+             probability;
+    return true;  // unconditional rule
+  }
+};
+
+struct Plan {
+  std::mutex mutex;
+  std::map<std::string, Rule> rules;  ///< sorted: deterministic status_json
+};
+
+Plan& plan() {
+  static Plan* p = new Plan;  // leaked: outlives every injection site
+  return *p;
+}
+
+std::atomic<std::uint64_t> g_injected_total{0};
+
+Action parse_action(const std::string& name) {
+  if (name == "fail") return Action::fail;
+  if (name == "timeout") return Action::timeout;
+  if (name == "enospc") return Action::enospc;
+  if (name == "delay") return Action::delay;
+  if (name == "crash") return Action::crash;
+  if (name == "reset") return Action::reset;
+  if (name == "truncate") return Action::truncate;
+  if (name == "short_write") return Action::short_write;
+  throw std::invalid_argument("fault plan: unknown action '" + name + "'");
+}
+
+Rule parse_rule(const std::string& site, const Json& spec,
+                std::uint64_t plan_seed) {
+  if (!spec.is_object())
+    throw std::invalid_argument("fault plan: site '" + site +
+                                "' must map to an object");
+  Rule rule;
+  const Json* action = spec.find("action");
+  if (action == nullptr)
+    throw std::invalid_argument("fault plan: site '" + site +
+                                "' is missing \"action\"");
+  rule.action = parse_action(action->as_string());
+  if (const Json* v = spec.find("nth")) rule.nth = v->as_uint();
+  if (const Json* v = spec.find("every")) rule.every = v->as_uint();
+  if (const Json* v = spec.find("probability")) {
+    rule.probability = v->as_double();
+    if (rule.probability < 0.0 || rule.probability > 1.0)
+      throw std::invalid_argument("fault plan: site '" + site +
+                                  "': probability must be in [0, 1]");
+  }
+  if (const Json* v = spec.find("count")) rule.count = v->as_uint();
+  if (const Json* v = spec.find("delay_ms"))
+    rule.delay_ms = static_cast<int>(v->as_int());
+  if (const Json* v = spec.find("keep_bytes"))
+    rule.keep_bytes = static_cast<std::size_t>(v->as_uint());
+
+  // Per-site RNG stream: the site name hashed into the plan seed (or an
+  // explicit per-site seed), so every site draws independently and two
+  // runs of the same plan see the same schedule.
+  std::uint64_t seed = plan_seed;
+  if (const Json* v = spec.find("seed")) seed = v->as_uint();
+  for (const char c : site) seed = seed * 1099511628211ULL + (unsigned char)c;
+  rule.rng.seed(seed);
+  return rule;
+}
+
+void count_fire(const char* site, Action action) {
+  g_injected_total.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global()
+      .counter("clktune_fault_injected_total", "Injected faults fired",
+               {{"action", to_string(action)}, {"site", site}})
+      .inc();
+}
+
+[[noreturn]] void crash_now(const char* site) {
+  // A crash point models SIGKILL / power loss: no unwinding, no flushes,
+  // no atexit.  137 = 128 + SIGKILL, matching what a supervisor reports.
+  std::fprintf(stderr, "clktune: fault crash point '%s' fired, exiting\n",
+               site);
+  std::fflush(stderr);
+  _exit(137);
+}
+
+}  // namespace
+
+const char* to_string(Action action) noexcept {
+  switch (action) {
+    case Action::none: return "none";
+    case Action::fail: return "fail";
+    case Action::timeout: return "timeout";
+    case Action::enospc: return "enospc";
+    case Action::delay: return "delay";
+    case Action::crash: return "crash";
+    case Action::reset: return "reset";
+    case Action::truncate: return "truncate";
+    case Action::short_write: return "short_write";
+  }
+  return "none";
+}
+
+void arm(const Json& plan_doc) {
+  if (!plan_doc.is_object())
+    throw std::invalid_argument("fault plan: document must be an object");
+  std::uint64_t plan_seed = 0;
+  if (const Json* v = plan_doc.find("seed")) plan_seed = v->as_uint();
+  const Json* sites = plan_doc.find("sites");
+  if (sites == nullptr || !sites->is_object())
+    throw std::invalid_argument("fault plan: missing \"sites\" object");
+
+  std::map<std::string, Rule> rules;
+  for (const auto& [site, spec] : sites->as_object())
+    rules.emplace(site, parse_rule(site, spec, plan_seed));
+
+  const bool any = !rules.empty();
+  Plan& p = plan();
+  {
+    const std::lock_guard<std::mutex> lock(p.mutex);
+    p.rules = std::move(rules);
+  }
+  detail::g_armed.store(any, std::memory_order_release);
+}
+
+void arm_from_spec(const std::string& spec) {
+  const std::size_t start = spec.find_first_not_of(" \t\r\n");
+  if (start != std::string::npos && spec[start] == '{') {
+    arm(Json::parse(spec));
+    return;
+  }
+  arm(util::read_json_file(spec));
+}
+
+bool arm_from_environment() {
+  const std::string spec = util::env_string("CLKTUNE_FAULT_PLAN", "");
+  if (spec.empty()) return false;
+  arm_from_spec(spec);
+  return armed();
+}
+
+void disarm() {
+  Plan& p = plan();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  p.rules.clear();
+  detail::g_armed.store(false, std::memory_order_release);
+}
+
+Fired poll(const char* site) {
+  if (!armed()) return Fired{};
+  Fired fired;
+  {
+    Plan& p = plan();
+    const std::lock_guard<std::mutex> lock(p.mutex);
+    const auto it = p.rules.find(site);
+    if (it == p.rules.end() || !it->second.triggers()) return Fired{};
+    Rule& rule = it->second;
+    ++rule.fires;
+    fired.action = rule.action;
+    fired.delay_ms = rule.delay_ms;
+    fired.keep_bytes = rule.keep_bytes;
+  }
+  count_fire(site, fired.action);
+  if (fired.action == Action::crash) crash_now(site);
+  if (fired.delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+  if (fired.action == Action::delay) return Fired{};  // slept; proceed
+  return fired;
+}
+
+Fired check(const char* site) {
+  const Fired fired = poll(site);
+  switch (fired.action) {
+    case Action::fail:
+      throw std::runtime_error(std::string("fault injected at ") + site +
+                               ": I/O failure");
+    case Action::timeout:
+      throw std::runtime_error(std::string("fault injected at ") + site +
+                               ": operation timed out");
+    case Action::reset:
+      throw std::runtime_error(std::string("fault injected at ") + site +
+                               ": connection reset by peer");
+    case Action::enospc:
+      throw std::runtime_error(std::string("fault injected at ") + site +
+                               ": No space left on device (ENOSPC)");
+    default:
+      return fired;  // none, or a data-path action the caller honours
+  }
+}
+
+std::uint64_t injected_total() noexcept {
+  return g_injected_total.load(std::memory_order_relaxed);
+}
+
+Json status_json() {
+  Json out = Json::object();
+  out.set("armed", armed());
+  Json sites = Json::object();
+  Plan& p = plan();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  for (const auto& [site, rule] : p.rules) {
+    Json entry = Json::object();
+    entry.set("action", to_string(rule.action));
+    if (rule.nth != 0) entry.set("nth", rule.nth);
+    if (rule.every != 0) entry.set("every", rule.every);
+    if (rule.probability > 0.0) entry.set("probability", rule.probability);
+    if (rule.count != 0) entry.set("count", rule.count);
+    if (rule.delay_ms != 0) entry.set("delay_ms", rule.delay_ms);
+    if (rule.keep_bytes != 0)
+      entry.set("keep_bytes", static_cast<std::uint64_t>(rule.keep_bytes));
+    entry.set("hits", rule.hits);
+    entry.set("fires", rule.fires);
+    sites.set(site, std::move(entry));
+  }
+  out.set("sites", std::move(sites));
+  out.set("injected_total", injected_total());
+  return out;
+}
+
+}  // namespace clktune::fault

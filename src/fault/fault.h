@@ -1,0 +1,128 @@
+// Process-wide deterministic fault injection.
+//
+// A FaultPlan names *injection sites* — stable string identifiers compiled
+// into the I/O seams of the codebase (socket connect/read/write, the
+// atomic file-commit path of the cache and job store, scheduler and fleet
+// dispatch crash points) — and attaches a *rule* to each: which fault to
+// fire (`action`), when (`nth` hit, `every` k-th hit, or `probability`
+// with a per-site seeded RNG), and how often at most (`count`).  The plan
+// is armed once per process, from the `CLKTUNE_FAULT_PLAN` environment
+// variable (a file path or inline JSON) or the `--fault-plan` CLI flag,
+// and every fired fault is reported through the obs registry as
+// `clktune_fault_injected_total{site,action}`.
+//
+// Cost model: when no plan is armed — every production run — a site is a
+// single relaxed atomic load (`armed()`) and an untaken branch.  No
+// allocation, no lock, no registry lookup.  All bookkeeping (hit counters,
+// RNG state, metrics) lives behind the armed branch, so the zero-alloc
+// kernel assertions and the perf gate hold with the subsystem linked in.
+//
+// Determinism: rule evaluation depends only on the per-site hit counter
+// and the per-site seeded RNG stream, never on wall-clock time or global
+// randomness.  Two runs that issue the same sequence of polls at a site
+// observe the same fault schedule.  (Across threads the *interleaving* of
+// polls is scheduling-dependent — a seeded plan gives a reproducible fault
+// *distribution*, which is exactly what the chaos soak needs: randomized
+// but re-runnable.)
+//
+// Plan JSON schema (see docs/robustness.md for the site catalog):
+//
+//   {
+//     "seed": 42,                      // optional, mixed into site seeds
+//     "sites": {
+//       "socket.write": {"action": "truncate", "every": 7,
+//                         "keep_bytes": 40, "count": 3},
+//       "cache.write": {"action": "enospc", "nth": 1},
+//       "scheduler.checkpoint": {"action": "crash", "probability": 0.01,
+//                                 "seed": 7}
+//     }
+//   }
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+
+namespace clktune::fault {
+
+/// What a fired fault does.  `fail`, `enospc` and `timeout` throw from
+/// check(); `delay` sleeps and continues; `crash` terminates the process
+/// with _exit(137) — no destructors, exactly like SIGKILL.  `truncate`,
+/// `short_write` and `reset` are data-path actions: poll() returns them
+/// to the call site, which owns the byte-level behaviour (write only
+/// `keep_bytes` then throw, throw a connection-reset error, ...).
+enum class Action {
+  none,
+  fail,         ///< generic injected I/O failure (throws)
+  timeout,      ///< injected deadline expiry (throws)
+  enospc,       ///< injected "No space left on device" (throws)
+  delay,        ///< sleep delay_ms, then continue normally
+  crash,        ///< _exit(137): a crash point, not an exception
+  reset,        ///< connection reset by peer (call-site interpreted)
+  truncate,     ///< deliver/write only keep_bytes, then fail (torn frame)
+  short_write,  ///< persist only keep_bytes of a file, then fail
+};
+
+const char* to_string(Action action) noexcept;
+
+/// The outcome of polling a site.  Converts to false when nothing fired.
+struct Fired {
+  Action action = Action::none;
+  int delay_ms = 0;
+  std::size_t keep_bytes = 0;
+  explicit operator bool() const noexcept { return action != Action::none; }
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True when a fault plan is armed.  This relaxed load is the entire cost
+/// of an injection site on the disarmed path; guard every poll()/check()
+/// with it.
+inline bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Arms the process-wide registry from a FaultPlan document.  Replaces any
+/// previously armed plan.  Throws util::JsonError / std::invalid_argument
+/// on schema violations (unknown action, missing action, bad trigger).
+void arm(const util::Json& plan);
+
+/// Arms from a JSON file, or from inline JSON when `spec` starts with '{'.
+void arm_from_spec(const std::string& spec);
+
+/// Arms from $CLKTUNE_FAULT_PLAN when set and non-empty; no-op otherwise.
+/// Returns true when a plan was armed.
+bool arm_from_environment();
+
+/// Clears the plan and disarms every site (tests arm/disarm repeatedly;
+/// hit counters and fire counts are discarded).
+void disarm();
+
+/// Evaluates `site` against the armed plan.  Returns the fired fault, or
+/// a false Fired when disarmed / unmatched / the rule did not trigger.
+/// A `delay` action is slept here; every fire is counted in
+/// clktune_fault_injected_total{site,action} and a `crash` fire does not
+/// return.  Callers own `reset`/`truncate`/`short_write` semantics.
+Fired poll(const char* site);
+
+/// poll() for control-path sites: additionally converts throwing actions
+/// into exceptions (fail/timeout/reset -> std::runtime_error, enospc ->
+/// std::system_error-equivalent runtime_error mentioning ENOSPC).  Data
+/// actions that need call-site bytes (`truncate`, `short_write`) are
+/// returned for the caller to honour.
+Fired check(const char* site);
+
+/// Total faults fired by this process since start (all sites, all plans).
+/// Cheap enough to stamp into bench reports.
+std::uint64_t injected_total() noexcept;
+
+/// Diagnostic snapshot of the armed plan: {"armed":bool,"sites":{site:
+/// {"action",...,"hits":n,"fires":n}}}.  Deterministic order.
+util::Json status_json();
+
+}  // namespace clktune::fault

@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "exec/remote_executor.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "serve/client.h"
+#include "util/backoff.h"
 #include "util/timer.h"
 
 namespace clktune::fleet {
@@ -331,6 +333,9 @@ class CampaignDispatch {
   /// distinction of the terminal frame's "code".
   bool dispatch_unit(std::size_t member_id, WorkUnit unit) {
     const FleetMember& member = spec_.members[member_id];
+    // Crash point: the dispatching client process dying mid-campaign —
+    // daemons keep their jobs, so a rerun replays from their caches.
+    if (fault::armed()) fault::poll("fleet.dispatch");
     FleetMetrics::get().dispatched.inc();
     const InflightGuard inflight(member.endpoint());
 
@@ -454,11 +459,12 @@ class CampaignDispatch {
       return true;
     }
     if (busy) {
-      // The daemon is alive but saturated; an escalating pause (capped)
-      // keeps the retry from hot-looping against its admission queue.
-      const std::size_t shift = busy_backoff < 6 ? busy_backoff : 6;
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(20 << shift));
+      // The daemon is alive but saturated; a jittered exponential pause
+      // (capped) keeps the retry from hot-looping against its admission
+      // queue, and the jitter de-synchronises dispatchers that all got
+      // the busy frame in the same instant.
+      thread_local util::Backoff backoff(20, 1500);
+      backoff.pause(busy_backoff);
     }
     return exit_worker;
   }
@@ -674,11 +680,13 @@ exec::Outcome FleetExecutor::execute(const exec::Request& request,
         diagnostics += (diagnostics.empty() ? "" : " | ");
         diagnostics += e.what();
       }
-      // Escalating pause between failover attempts: a briefly busy pool
-      // must not burn the whole budget within milliseconds.
-      if (attempt < options_.max_retries)
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(20 * (attempt + 1)));
+      // Jittered exponential pause between failover attempts (capped): a
+      // briefly busy pool must not burn the whole budget within
+      // milliseconds, and concurrent clients should not retry in step.
+      if (attempt < options_.max_retries) {
+        thread_local util::Backoff backoff(20, 500);
+        backoff.pause(attempt);
+      }
     }
     throw ExecError("fleet: scenario failed on every attempt: " +
                     diagnostics);

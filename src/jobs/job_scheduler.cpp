@@ -1,12 +1,14 @@
 #include "jobs/job_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "cache/result_cache.h"
 #include "exec/local_executor.h"
 #include "exec/observer.h"
 #include "exec/request.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "scenario/campaign.h"
 #include "scenario/scenario.h"
@@ -23,6 +25,7 @@ namespace {
 struct JobMetrics {
   obs::Counter& submitted;
   obs::Counter& checkpoints;
+  obs::Counter& stall_requeues;
   obs::Histogram& queue_wait;
   obs::Histogram& run_seconds;
 
@@ -33,6 +36,9 @@ struct JobMetrics {
         obs::Registry::global().counter(
             "clktune_jobs_checkpoints_total",
             "Per-cell checkpoints persisted to job envelopes"),
+        obs::Registry::global().counter(
+            "clktune_jobs_stall_requeues_total",
+            "Running jobs re-queued by the stuck-job watchdog"),
         obs::Registry::global().histogram(
             "clktune_jobs_queue_wait_seconds",
             "Submit-to-claim latency of the job queue", 1e-9),
@@ -104,6 +110,8 @@ void JobScheduler::start() {
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
+  if (options_.stall_timeout_ms > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 void JobScheduler::stop() {
@@ -128,12 +136,15 @@ void JobScheduler::stop() {
     subs_.clear();
   }
   std::vector<std::thread> workers;
+  std::thread watchdog;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     workers.swap(workers_);
+    watchdog.swap(watchdog_);
   }
   for (std::thread& worker : workers)
     if (worker.joinable()) worker.join();
+  if (watchdog.joinable()) watchdog.join();
 }
 
 JobRecord JobScheduler::submit(const util::Json& doc,
@@ -189,6 +200,42 @@ JobRecord JobScheduler::cancel(const std::string& id) {
 bool JobScheduler::cancel_requested(const std::string& id) const {
   const std::lock_guard<std::mutex> lock(cancel_mutex_);
   return cancel_requested_.count(id) != 0;
+}
+
+bool JobScheduler::stall_requested(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(cancel_mutex_);
+  return stall_requested_.count(id) != 0;
+}
+
+void JobScheduler::stamp_progress(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(obs_mutex_);
+  progress_ns_[id] = obs::steady_now_ns();
+}
+
+void JobScheduler::watchdog_loop() {
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(options_.stall_timeout_ms) * 1000000ull;
+  // Scan a few times per deadline so detection latency stays a fraction
+  // of the timeout itself.
+  const auto interval =
+      std::chrono::milliseconds(std::max(options_.stall_timeout_ms / 4, 10));
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  while (!stopping_.load()) {
+    queue_ready_.wait_for(lock, interval);
+    if (stopping_.load()) return;
+    const std::uint64_t now = obs::steady_now_ns();
+    std::vector<std::string> stalled;
+    {
+      const std::lock_guard<std::mutex> obs_lock(obs_mutex_);
+      for (const auto& [id, stamp] : progress_ns_)
+        if (now - stamp > deadline_ns) stalled.push_back(id);
+    }
+    // The flag is advisory: the executor notices it at its next
+    // cancelled() poll and run_job translates the yield into a re-queue
+    // (counted there, where it actually happens).
+    const std::lock_guard<std::mutex> cancel_lock(cancel_mutex_);
+    for (const std::string& id : stalled) stall_requested_.insert(id);
+  }
 }
 
 util::Json JobScheduler::counters() const {
@@ -267,10 +314,19 @@ void JobScheduler::run_job(JobRecord job) {
     return;
   }
 
+  // Crash point: a daemon dying between claiming a job and running it —
+  // the envelope is `preparing`, which recovery re-queues.
+  if (fault::armed()) fault::poll("scheduler.claim");
+
   store_.set_state(id, JobState::running);
+  stamp_progress(id);
 
   CallbackObserver observer(
       [this, &id](const exec::CellEvent& event) {
+        // Crash point: dying between a computed cell and its checkpoint —
+        // the cell's artifact is already in the result cache, so the
+        // recovered job replays it for free.
+        if (fault::armed()) fault::poll("scheduler.checkpoint");
         // The per-cell checkpoint: persist first, then broadcast —
         // a subscriber snapshot can only ever lag the live stream, and
         // the attach-side index dedup absorbs the overlap.
@@ -280,20 +336,36 @@ void JobScheduler::run_job(JobRecord job) {
         } catch (const std::exception&) {
           // Observer contract: never throw from on_cell.
         }
+        stamp_progress(id);
         JobMetrics::get().checkpoints.inc();
         broadcast(id, result_frame(event.index, event.cached,
                                    event.result.to_json()));
       },
-      [this, &id] { return cancel_requested(id) || stopping_.load(); });
+      [this, &id] {
+        return cancel_requested(id) || stall_requested(id) ||
+               stopping_.load();
+      });
 
   exec::LocalExecutor executor;
   const std::uint64_t run_start_ns = obs::steady_now_ns();
+  bool requeued = false;
   try {
     executor.execute(request, &observer);
     store_.set_state(id, JobState::done);
     jobs_completed("done").inc();
   } catch (const exec::CancelledError&) {
-    if (cancel_requested(id) || !stopping_.load()) {
+    if (cancel_requested(id)) {
+      store_.set_state(id, JobState::cancelled);
+      jobs_completed("cancelled").inc();
+    } else if (stall_requested(id)) {
+      // The watchdog yanked a stalled job: back to `queued`, where any
+      // worker (including this one) re-claims it.  Checkpointed cells
+      // replay from the result cache, so only the stalled remainder
+      // recomputes; live attach subscriptions survive the hand-off.
+      store_.set_state(id, JobState::queued);
+      JobMetrics::get().stall_requeues.inc();
+      requeued = true;
+    } else if (!stopping_.load()) {
       store_.set_state(id, JobState::cancelled);
       jobs_completed("cancelled").inc();
     }
@@ -305,8 +377,17 @@ void JobScheduler::run_job(JobRecord job) {
   }
   JobMetrics::get().run_seconds.record(obs::steady_now_ns() - run_start_ns);
   {
+    const std::lock_guard<std::mutex> lock(obs_mutex_);
+    progress_ns_.erase(id);
+  }
+  {
     const std::lock_guard<std::mutex> lock(cancel_mutex_);
     cancel_requested_.erase(id);
+    stall_requested_.erase(id);
+  }
+  if (requeued) {
+    queue_ready_.notify_one();
+    return;  // subscribers stay attached across the re-run
   }
   close_subscribers(id);
 }

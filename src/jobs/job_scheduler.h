@@ -57,6 +57,12 @@ struct JobSchedulerOptions {
   int threads = 0;
   /// Terminal jobs retained (memory + disk) before the oldest are pruned.
   std::size_t retain_terminal = 512;
+  /// Stuck-job watchdog: a running job whose last progress stamp (claim or
+  /// per-cell checkpoint) is older than this deadline is cooperatively
+  /// yanked back to `queued` and re-claimed — its checkpointed cells
+  /// replay from the result cache, so only the stalled remainder re-runs.
+  /// 0 disables the watchdog.
+  int stall_timeout_ms = 0;
 };
 
 class JobScheduler {
@@ -83,6 +89,12 @@ class JobScheduler {
 
   std::optional<JobRecord> get(const std::string& id) const;
   std::vector<JobRecord> list() const;
+
+  /// Drops the oldest terminal job envelopes beyond `keep` (memory +
+  /// disk).  Returns how many were removed.  The serve `prune` verb and
+  /// `clktune job prune` expose this; submit() also applies the
+  /// retain_terminal bound automatically.
+  std::size_t prune(std::size_t keep) { return store_.prune_terminal(keep); }
 
   /// Requests cancellation: a queued job becomes `cancelled` immediately;
   /// a preparing/running one is flagged and reaches `cancelled` once the
@@ -114,12 +126,15 @@ class JobScheduler {
   };
 
   void worker_loop();
+  void watchdog_loop();
   void run_job(JobRecord job);
   void broadcast(const std::string& id, const util::Json& frame);
   void close_subscribers(const std::string& id);
   void remove_subscriber(const std::string& id,
                          const std::shared_ptr<Subscription>& sub);
   bool cancel_requested(const std::string& id) const;
+  bool stall_requested(const std::string& id) const;
+  void stamp_progress(const std::string& id);
 
   JobStore store_;
   cache::ResultCache* cache_;
@@ -130,9 +145,13 @@ class JobScheduler {
   bool started_ = false;
   std::atomic<bool> stopping_{false};
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
 
   mutable std::mutex cancel_mutex_;
   std::set<std::string> cancel_requested_;
+  /// Jobs the watchdog has flagged; observed by the cancelled() poll and
+  /// translated into a re-queue (not a cancel) when the executor yields.
+  std::set<std::string> stall_requested_;
 
   /// Steady-clock submission stamps, consumed (and erased) by the worker
   /// that claims the job to record queue-wait latency.  A recovered job
@@ -140,6 +159,9 @@ class JobScheduler {
   /// nothing rather than a lie.
   mutable std::mutex obs_mutex_;
   std::map<std::string, std::uint64_t> queued_at_ns_;
+  /// Steady-clock last-progress stamps of in-flight jobs (claim and every
+  /// checkpoint); the watchdog compares them against stall_timeout_ms.
+  std::map<std::string, std::uint64_t> progress_ns_;
 
   mutable std::mutex sub_mutex_;
   std::map<std::string, std::vector<std::shared_ptr<Subscription>>> subs_;

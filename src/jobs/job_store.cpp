@@ -10,6 +10,7 @@
 #include <random>
 #include <system_error>
 
+#include "util/fs.h"
 #include "util/sha256.h"
 
 namespace clktune::jobs {
@@ -80,20 +81,15 @@ JobStore::JobStore(std::string directory) : directory_(std::move(directory)) {
 
 void JobStore::persist_locked(const JobRecord& rec) const {
   if (directory_.empty()) return;
-  // Write-then-rename, exactly like ResultCache::put: a daemon killed
-  // mid-write leaves either the previous envelope or the new one, never a
-  // torn file (which load() would skip, losing the job).
-  static std::atomic<std::uint64_t> sequence{0};
-  const std::string final_path = directory_ + "/" + rec.id + ".json";
-  std::string tmp_path = final_path;
-  tmp_path += ".tmp.";
-  tmp_path += std::to_string(::getpid());
-  tmp_path += '.';
-  tmp_path += std::to_string(sequence.fetch_add(1));
-  util::write_json_file(tmp_path, rec.to_json(), /*indent=*/-1);
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) std::remove(tmp_path.c_str());
+  // Crash-durable commit (tmp + fsync + rename + directory fsync): an
+  // accepted submission or a recorded checkpoint must survive power loss,
+  // not just a process kill.  A daemon killed mid-write leaves either the
+  // previous envelope or the new one, never a torn file through the final
+  // path (which load() would skip, losing the job).
+  std::string payload = rec.to_json().dump(-1);
+  payload.push_back('\n');
+  util::write_file_atomic(directory_ + "/" + rec.id + ".json", payload,
+                          /*durable=*/true, /*fault_site=*/"jobstore");
 }
 
 void JobStore::unlink_locked(const JobRecord& rec) const {

@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <optional>
@@ -50,9 +51,10 @@ struct ServeMetrics {
 /// collapse into one "other" label so a misbehaving client cannot grow
 /// the registry without bound.
 const std::string& verb_label(const std::string& cmd) {
-  static const std::string known[] = {"run",    "sweep",  "status",
+  static const std::string known[] = {"run",     "sweep", "status",
                                       "metrics", "submit", "attach",
-                                      "cancel", "jobs",   "shutdown"};
+                                      "cancel",  "jobs",   "shutdown",
+                                      "drain",   "prune"};
   static const std::string other = "other";
   for (const std::string& verb : known)
     if (verb == cmd) return verb;
@@ -146,6 +148,7 @@ ScenarioServer::ScenarioServer(ServeOptions options)
   job_options.workers = options_.job_workers;
   job_options.threads = options_.threads;
   job_options.retain_terminal = options_.job_retain;
+  job_options.stall_timeout_ms = options_.job_stall_timeout_ms;
   // Job envelopes live inside the cache directory (a sibling subdir, so
   // cache gc/verify — which scan only top-level files — never touch
   // them); without a cache dir the job queue is in-memory only.
@@ -158,6 +161,11 @@ ScenarioServer::ScenarioServer(ServeOptions options)
 ScenarioServer::~ScenarioServer() = default;
 
 void ScenarioServer::start() {
+  // A peer that resets mid-stream must surface as an EPIPE/ECONNRESET
+  // error on the write, never as a process-killing signal.  tcp_write_all
+  // already passes MSG_NOSIGNAL, but any other write path (and third-party
+  // code) is only safe with the disposition set process-wide.  Idempotent.
+  std::signal(SIGPIPE, SIG_IGN);
   listener_ = util::tcp_listen(options_.port);
   port_ = util::tcp_local_port(listener_);
   started_at_ = std::chrono::steady_clock::now();
@@ -234,6 +242,28 @@ void ScenarioServer::serve_forever() {
     }
   }
 
+  // Graceful drain: admission is already closed (the listener is down),
+  // but connections that were accepted keep their handlers — wait up to
+  // the grace period for the queue to empty and in-flight frames to
+  // finish before severing anything.  A hard stop() skips this.
+  if (draining_.load() && !stop_.load()) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.drain_grace_ms);
+    for (;;) {
+      bool idle;
+      {
+        const std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+        const std::lock_guard<std::mutex> active_lock(active_mutex_);
+        idle = queue_.empty() && active_fds_.empty();
+      }
+      if (idle || stop_.load() ||
+          std::chrono::steady_clock::now() >= deadline)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
   // Wind down: no handler may pick up new work, queued-but-unclaimed
   // connections are closed (their clients see EOF rather than a hang),
   // blocked reads are severed so every handler observes EOF, then all of
@@ -260,6 +290,13 @@ void ScenarioServer::serve_forever() {
 void ScenarioServer::close_listener() {
   const std::lock_guard<std::mutex> lock(listener_mutex_);
   listener_.close();
+}
+
+void ScenarioServer::drain() {
+  draining_.store(true);
+  // Closing the listener pops the accept loop out of tcp_accept();
+  // serve_forever then runs the grace window before the hard wind-down.
+  close_listener();
 }
 
 void ScenarioServer::stop() {
@@ -310,19 +347,25 @@ void ScenarioServer::handle_connection(util::TcpSocket connection) {
   track_connection(connection.fd(), /*add=*/true);
   util::LineReader reader(connection);
   std::string line;
-  while (!stop_.load() && reader.read_line(line)) {
-    if (line.empty()) continue;
-    try {
-      handle_request(connection, line);
-    } catch (const std::exception& e) {
-      // Parse/validation/runtime failure of one request; the connection
-      // stays usable because requests are line-framed.
+  try {
+    while (!stop_.load() && reader.read_line(line)) {
+      if (line.empty()) continue;
       try {
-        send_error(connection, e.what());
-      } catch (const std::exception&) {
-        break;  // peer gone mid-error: drop the connection
+        handle_request(connection, line);
+      } catch (const std::exception& e) {
+        // Parse/validation/runtime failure of one request; the connection
+        // stays usable because requests are line-framed.
+        try {
+          send_error(connection, e.what());
+        } catch (const std::exception&) {
+          break;  // peer gone mid-error: drop the connection
+        }
       }
     }
+  } catch (const std::exception&) {
+    // A read failure — recv deadline, a reset mid-frame, an injected
+    // socket fault — costs this connection only.  Letting it propagate
+    // would unwind the handler thread and terminate the daemon.
   }
   track_connection(connection.fd(), /*add=*/false);
 }
@@ -369,6 +412,7 @@ void ScenarioServer::handle_command(const util::TcpSocket& connection,
     event.set("requests", requests_.load());
     event.set("connections", connections_.load());
     event.set("rejected", rejected_.load());
+    event.set("draining", draining_.load());
     event.set("scenarios_run", scenarios_run_.load());
     event.set("cache", cache_.stats().to_json());
     event.set("jobs", jobs_->counters());
@@ -494,9 +538,44 @@ void ScenarioServer::handle_command(const util::TcpSocket& connection,
   }
 
   if (cmd == "shutdown") {
+    // Answer first: once stop_ is set the wind-down severs every active
+    // connection, racing this send for the fd.  A peer that vanished
+    // before reading the frame must not veto the shutdown itself.
+    try {
+      send_event(connection, done_event(0, 0, 0));
+    } catch (const std::exception&) {
+    }
     stop_.store(true);
     close_listener();
-    send_event(connection, done_event(0, 0, 0));
+    return;
+  }
+
+  if (cmd == "drain") {
+    // Answer first: once drain() closes the listener the accept loop is
+    // already gone, and this connection finishes inside the grace window.
+    Json event = Json::object();
+    event.set("event", "draining");
+    event.set("ok", true);
+    event.set("grace_ms", static_cast<std::uint64_t>(
+                              options_.drain_grace_ms < 0
+                                  ? 0
+                                  : options_.drain_grace_ms));
+    event.set("jobs", jobs_->counters());
+    send_event(connection, event);
+    drain();
+    return;
+  }
+
+  if (cmd == "prune") {
+    std::size_t keep = 0;
+    if (const Json* k = request.find("keep"))
+      keep = static_cast<std::size_t>(k->as_uint());
+    const std::size_t removed = jobs_->prune(keep);
+    Json event = Json::object();
+    event.set("event", "pruned");
+    event.set("removed", static_cast<std::uint64_t>(removed));
+    event.set("keep", static_cast<std::uint64_t>(keep));
+    send_event(connection, event);
     return;
   }
 

@@ -16,6 +16,12 @@
 //                                           the JSON snapshot for text
 //                                           exposition in a "text" member)
 //   {"cmd":"shutdown"}                   -> done (then the server exits)
+//   {"cmd":"drain"}                      -> draining (stop admission,
+//                                           finish in-flight work, then
+//                                           exit — SIGTERM semantics)
+//   {"cmd":"prune","keep":N}             -> pruned (drop the oldest
+//                                           terminal job envelopes
+//                                           beyond N)
 //
 // Async job verbs (the durable submission path, backed by jobs::
 // JobScheduler; see docs/jobs.md):
@@ -107,6 +113,11 @@ struct ServeOptions {
   std::size_t job_workers = 2;
   /// Terminal jobs retained before the oldest envelopes are pruned.
   std::size_t job_retain = 512;
+  /// Stuck-job watchdog deadline passed to the JobScheduler (0 = off).
+  int job_stall_timeout_ms = 0;
+  /// Graceful-drain grace period: how long serve_forever waits for
+  /// in-flight connections to finish before severing them.
+  int drain_grace_ms = 5000;
 };
 
 class ScenarioServer {
@@ -126,6 +137,15 @@ class ScenarioServer {
   /// Thread-safe: asks the accept loop to exit, unblocks it, and severs
   /// in-flight connections so handlers wind down.
   void stop();
+
+  /// Graceful drain, the SIGTERM semantics: stop admission (close the
+  /// listener) but let in-flight frames finish — serve_forever waits up
+  /// to drain_grace_ms for active connections to complete before winding
+  /// down.  Running jobs are asked to yield at their next checkpoint and
+  /// stay `running` on disk, so a restarted daemon recovers them.
+  /// Thread-safe and idempotent; also exposed as the `drain` serve verb.
+  void drain();
+  bool draining() const { return draining_.load(); }
 
   cache::ResultCache& cache() { return cache_; }
   jobs::JobScheduler& scheduler() { return *jobs_; }
@@ -156,6 +176,7 @@ class ScenarioServer {
   util::TcpSocket listener_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
   /// start() time; uptime_seconds derives from this, steady so it never
   /// jumps with wall-clock adjustments.
   std::chrono::steady_clock::time_point started_at_{};

@@ -1,0 +1,55 @@
+// Jittered exponential backoff with a per-site cap.
+//
+// delay(attempt) = min(cap_ms, base_ms << attempt) scaled by a jitter
+// factor drawn uniformly from [0.5, 1.0] out of a seeded xorshift stream,
+// so concurrent retriers de-synchronise (no thundering herd against a
+// recovering daemon) while a fixed seed keeps test schedules reproducible.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace clktune::util {
+
+class Backoff {
+ public:
+  Backoff(int base_ms, int cap_ms, std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : base_ms_(base_ms < 1 ? 1 : base_ms),
+        cap_ms_(cap_ms < base_ms_ ? base_ms_ : cap_ms),
+        state_(seed | 1) {}
+
+  /// Jittered delay for the given 0-based attempt, in milliseconds.
+  int delay_ms(std::size_t attempt) {
+    // Saturating base << attempt, clamped to the cap before jitter so the
+    // cap bounds the worst case, not the average.
+    std::int64_t raw = base_ms_;
+    for (std::size_t i = 0; i < attempt && raw < cap_ms_; ++i) raw <<= 1;
+    raw = std::min<std::int64_t>(raw, cap_ms_);
+    // xorshift64*: cheap, never zero (state seeded odd).
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t bits = state_ * 0x2545f4914f6cdd1dULL;
+    const double jitter = 0.5 + 0.5 * (static_cast<double>(bits >> 11) /
+                                       9007199254740992.0);  // [0.5, 1.0)
+    const int ms = static_cast<int>(static_cast<double>(raw) * jitter);
+    return ms < 1 ? 1 : ms;
+  }
+
+  /// Sleeps for delay_ms(attempt).
+  void pause(std::size_t attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms(attempt)));
+  }
+
+  int base_ms() const { return base_ms_; }
+  int cap_ms() const { return cap_ms_; }
+
+ private:
+  int base_ms_;
+  int cap_ms_;
+  std::uint64_t state_;
+};
+
+}  // namespace clktune::util

@@ -1,0 +1,133 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault.h"
+
+namespace clktune::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// "<prefix>.<suffix>" built without allocating on the disarmed path —
+/// callers only invoke this under fault::armed().
+std::string site_name(const char* prefix, const char* suffix) {
+  return std::string(prefix) + "." + suffix;
+}
+
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// close() surfaced as a return value: a failed close on a written file
+  /// is a write failure.
+  int close_now() {
+    const int rc = fd_ >= 0 ? ::close(fd_) : 0;
+    fd_ = -1;
+    return rc;
+  }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_;
+};
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view contents,
+                       bool durable, const char* fault_site) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+
+  // Unique per process + call: concurrent committers to the same final
+  // path never share a temporary, and a crashed process's leftovers can
+  // never be renamed by anyone else.
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(sequence.fetch_add(1));
+
+  Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+  if (!fd.valid()) fail("open", tmp);
+
+  try {
+    std::size_t size = contents.size();
+    if (fault_site != nullptr && fault::armed()) {
+      const fault::Fired fired =
+          fault::check(site_name(fault_site, "write").c_str());
+      if (fired.action == fault::Action::short_write) {
+        // Persist a prefix, then fail the commit: models a torn write
+        // that a crash would leave behind in the temporary.
+        write_all(fd.get(), contents.data(),
+                  std::min(size, fired.keep_bytes), tmp);
+        errno = EIO;
+        fail("write (injected short write)", tmp);
+      }
+      if (fired.action == fault::Action::truncate)
+        size = std::min(size, fired.keep_bytes);
+    }
+    write_all(fd.get(), contents.data(), size, tmp);
+
+    if (durable) {
+      if (fault_site != nullptr && fault::armed())
+        fault::check(site_name(fault_site, "fsync").c_str());
+      if (::fsync(fd.get()) != 0) fail("fsync", tmp);
+    }
+    if (fd.close_now() != 0) fail("close", tmp);
+
+    if (fault_site != nullptr && fault::armed())
+      fault::check(site_name(fault_site, "rename").c_str());
+    if (::rename(tmp.c_str(), path.c_str()) != 0) fail("rename", path);
+  } catch (...) {
+    fd.reset();
+    ::unlink(tmp.c_str());
+    throw;
+  }
+
+  if (fault_site != nullptr && fault::armed())
+    fault::check(site_name(fault_site, "commit").c_str());
+  if (durable) {
+    // fsync the directory so the rename itself survives power loss.  Some
+    // filesystems refuse fsync on a directory fd; that is not a torn
+    // commit, so only real failures are surfaced.
+    Fd dfd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+    if (dfd.valid()) {
+      if (::fsync(dfd.get()) != 0 && errno != EINVAL && errno != ENOTSUP)
+        fail("fsync (directory)", dir);
+    }
+  }
+}
+
+}  // namespace clktune::util

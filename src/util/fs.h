@@ -1,0 +1,32 @@
+// Crash-durable file commits.
+//
+// write_file_atomic() is the one tmp+rename implementation behind every
+// on-disk envelope (result cache entries, job-store records): write to a
+// unique temporary in the same directory, fsync the file, rename over the
+// final path, fsync the parent directory.  After it returns, the commit
+// survives power loss; at any crash point before the rename the final
+// path still holds the previous complete version (readers never observe a
+// torn file through the final path).
+//
+// When the fault registry is armed and `fault_site` is non-null, the
+// commit exposes injection points named  <site>.write  (short_write /
+// enospc / fail / crash),  <site>.fsync  (fail / crash — crash *after*
+// the tmp file exists, before the rename),  <site>.rename  (crash
+// *before* the rename commits), and  <site>.commit  (crash *after* the
+// rename, before the directory fsync).  docs/robustness.md catalogues
+// them.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace clktune::util {
+
+/// Atomically (and, unless `durable` is false, durably) replaces `path`
+/// with `contents`.  Throws std::runtime_error on any I/O failure, with
+/// the temporary already cleaned up.
+void write_file_atomic(const std::string& path, std::string_view contents,
+                       bool durable = true,
+                       const char* fault_site = nullptr);
+
+}  // namespace clktune::util

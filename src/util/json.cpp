@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.h"
+
 namespace clktune::util {
 
 namespace {
@@ -455,9 +457,19 @@ Json read_json_file(const std::string& path) {
 }
 
 void write_json_file(const std::string& path, const Json& value, int indent) {
+  std::string payload = value.dump(indent);
+  payload.push_back('\n');
+  // Injection: `fail`/`enospc` model an unwritable artifact, `truncate`
+  // leaves a torn document behind (keep_bytes of the payload).
+  if (fault::armed()) {
+    const fault::Fired fired = fault::check("json.write");
+    if (fired.action == fault::Action::truncate ||
+        fired.action == fault::Action::short_write)
+      payload.resize(std::min(payload.size(), fired.keep_bytes));
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  out << value.dump(indent) << '\n';
+  out << payload;
   out.flush();  // surface buffered-write failures (ENOSPC) before the check
   if (!out) throw std::runtime_error("write failed: " + path);
 }

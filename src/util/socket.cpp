@@ -10,9 +10,12 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+
+#include "fault/fault.h"
 
 namespace clktune::util {
 
@@ -118,6 +121,9 @@ TcpSocket tcp_accept(const TcpSocket& listener) {
 
 TcpSocket tcp_connect(const std::string& host, std::uint16_t port,
                       int connect_timeout_ms) {
+  // Injection: `fail` models a refused connection, `timeout` an expired
+  // deadline, `delay` a slow accept queue.
+  if (fault::armed()) fault::check("socket.connect");
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -173,16 +179,32 @@ void tcp_set_recv_timeout(const TcpSocket& socket, int timeout_ms) {
 }
 
 void tcp_write_all(const TcpSocket& socket, std::string_view data) {
+  // Injection: `reset`/`fail` abort before any byte leaves; `truncate`
+  // sends only keep_bytes of the frame and then fails, so the peer
+  // observes a torn line (no trailing newline) followed by close.
+  std::size_t limit = data.size();
+  bool tear = false;
+  if (fault::armed()) {
+    const fault::Fired fired = fault::check("socket.write");
+    if (fired.action == fault::Action::truncate) {
+      limit = std::min(limit, fired.keep_bytes);
+      tear = true;
+    }
+  }
   std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(socket.fd(), data.data() + sent,
-                             data.size() - sent, MSG_NOSIGNAL);
+  while (sent < limit) {
+    const ssize_t n = ::send(socket.fd(), data.data() + sent, limit - sent,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       fail("send()");
     }
     sent += static_cast<std::size_t>(n);
   }
+  if (tear)
+    throw std::runtime_error(
+        "socket: fault injected at socket.write: frame torn after " +
+        std::to_string(limit) + " bytes");
 }
 
 void tcp_drain_pending(const TcpSocket& socket) {
@@ -211,6 +233,10 @@ bool LineReader::read_line(std::string& line) {
       buffer_.clear();
       return true;
     }
+    // Injection: `reset` throws as a mid-stream connection reset, `delay`
+    // models a slow peer (exercises the recv deadline and the stuck-job
+    // watchdog without touching kernel state).
+    if (fault::armed()) fault::check("socket.read");
     char chunk[4096];
     const ssize_t n = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
     if (n < 0) {
