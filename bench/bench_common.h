@@ -12,15 +12,13 @@
 //                          streaming)
 #pragma once
 
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "core/engine.h"
 #include "core/insertion_config.h"
 #include "fault/fault.h"
@@ -131,108 +129,9 @@ inline const char* setting_name(int sigmas) {
 /// yields are out-of-sample.
 inline constexpr std::uint64_t kEvalSeed = 0xE7A1;
 
-/// The commit the bench binary ran against: GITHUB_SHA when CI exports it,
-/// otherwise `git rev-parse` against the working tree, otherwise
-/// "unknown".  Advisory provenance — never used for comparisons.
-inline std::string bench_git_sha() {
-  const std::string env = util::env_string("GITHUB_SHA", "");
-  if (!env.empty()) return env;
-  std::string sha;
-  if (std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
-    char buf[128];
-    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
-      sha = buf;
-      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
-        sha.pop_back();
-    }
-    ::pclose(pipe);
-  }
-  return sha.empty() ? "unknown" : sha;
-}
-
-inline std::string bench_hostname() {
-  char buf[256] = {};
-  if (::gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
-  return buf;
-}
-
-/// Machine-readable benchmark artifact: construct one at the top of a bench
-/// main, feed it counters as the run progresses, and `return report.write()`
-/// at the end.  Writes BENCH_<name>.json into the working directory with
-/// wall-clock seconds, samples/sec throughput, total MILP nodes and the
-/// main thread's heap-allocation count, so perf trajectories are diffable
-/// across commits (CI uploads them as artifacts; timings stay advisory).
-class BenchReport {
- public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
-
-  /// Monte-Carlo sample problems processed (solves, yield checks, draws).
-  void count_samples(std::uint64_t n) { samples_ += n; }
-  void count_milp_nodes(std::uint64_t n) { milp_nodes_ += n; }
-  /// One engine run: its configured sample count plus its MILP nodes.
-  void count_insertion(const core::InsertionResult& res,
-                       std::uint64_t samples) {
-    samples_ += samples;
-    milp_nodes_ += res.step1.milp_nodes + res.step2a.milp_nodes +
-                   res.step2b.milp_nodes;
-  }
-  /// Extra named metric, appended after the standard fields.
-  void metric(const std::string& key, double value) {
-    extra_.set(key, value);
-  }
-  /// Headline samples/sec measured externally (micro benches); by default
-  /// the report derives it as samples / wall_seconds.
-  void override_samples_per_sec(double sps) { samples_per_sec_ = sps; }
-
-  int write() const {
-    const double secs = wall_.seconds();
-    util::Json j = util::Json::object();
-    j.set("bench", name_);
-    j.set("wall_seconds", secs);
-    j.set("samples", samples_);
-    const double sps = samples_per_sec_ >= 0.0
-                           ? samples_per_sec_
-                           : (secs > 0.0 && samples_ > 0
-                                  ? static_cast<double>(samples_) / secs
-                                  : 0.0);
-    j.set("samples_per_sec", sps);
-    j.set("milp_nodes", milp_nodes_);
-    j.set("allocations", allocs_.delta());
-    // Faults fired during the run.  Nonzero means the fault registry was
-    // armed — the numbers describe a chaos experiment, not performance;
-    // scripts/perf_gate.sh refuses such a report outright.
-    j.set("faults_injected", fault::injected_total());
-    // Provenance stamp — which commit, where, how parallel — so a stored
-    // BENCH_*.json is attributable long after the run.  Appended after
-    // the standard fields; scripts/perf_gate.sh gates on wall_seconds and
-    // refuses reports with nonzero faults_injected.
-    j.set("git_sha", bench_git_sha());
-    j.set("hostname", bench_hostname());
-    j.set("threads",
-          static_cast<std::uint64_t>(util::resolve_thread_count(
-              static_cast<std::size_t>(
-                  std::max(0L, util::env_long("CLKTUNE_THREADS", 0))))));
-    for (const auto& [key, value] : extra_.as_object()) j.set(key, value);
-    const std::string path = "BENCH_" + name_ + ".json";
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
-      return 1;
-    }
-    out << j.dump(2) << "\n";
-    std::fprintf(stderr, "wrote %s (%.2f s, %.0f samples/s)\n", path.c_str(),
-                 secs, sps);
-    return 0;
-  }
-
- private:
-  std::string name_;
-  util::Stopwatch wall_;
-  util::AllocCounterScope allocs_;
-  std::uint64_t samples_ = 0;
-  std::uint64_t milp_nodes_ = 0;
-  double samples_per_sec_ = -1.0;
-  util::Json extra_ = util::Json::object();
-};
+// BenchReport and the provenance helpers (bench_git_sha, bench_hostname)
+// moved into the library — src/bench/bench_report.h — so `clktune bench
+// load` writes the same gateable artifact shape the reproduction benches
+// do.  Included above; the clktune::bench namespace is unchanged.
 
 }  // namespace clktune::bench

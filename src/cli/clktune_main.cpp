@@ -96,6 +96,7 @@
 #include "exec/request.h"
 #include "fault/fault.h"
 #include "fleet/fleet_status.h"
+#include "load/harness.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scenario/campaign.h"
@@ -146,6 +147,18 @@ struct Options {
   std::size_t keep = 0;           ///< job prune: terminal envelopes kept
   int stall_timeout_ms = 0;       ///< serve: stuck-job watchdog (0 = off)
   int drain_grace_ms = 5000;      ///< serve: graceful-drain grace window
+  // bench load
+  std::string connect;            ///< target daemons, host:port[,...]
+  std::string mix_spec;           ///< workload mix, inline JSON or a file
+  std::string base_file;          ///< base scenario document
+  std::size_t clients = 4;
+  std::uint64_t requests = 0;
+  std::uint64_t seed = 20160;
+  double duration_seconds = 0.0;
+  double rate = 0.0;
+  double max_error_rate = 1.0;
+  double xcheck_overhead = 0.0;   ///< 0 = library default
+  bool no_xcheck = false;
 };
 
 void print_usage(std::FILE* to) {
@@ -170,6 +183,8 @@ void print_usage(std::FILE* to) {
       "  cache stats|gc|verify   maintain an on-disk result cache\n"
       "  metrics                 fetch a running server's metrics snapshot\n"
       "  fleet status            probe a daemon pool, render a health table\n"
+      "  bench load              closed-loop load generation against a\n"
+      "                          daemon or fleet; writes BENCH_load.json\n"
       "\n"
       "options:\n"
       "  -o, --output <path>     write the JSON artifact to <path>\n"
@@ -198,6 +213,21 @@ void print_usage(std::FILE* to) {
       "                          registry: inline JSON or a plan file\n"
       "                          (docs/robustness.md; also via the\n"
       "                          CLKTUNE_FAULT_PLAN environment variable)\n"
+      "      --connect <list>    bench load: target daemons host:port,...\n"
+      "      --clients <n>       bench load: concurrent clients (default 4)\n"
+      "      --duration <s>      bench load: run this long (default 5)\n"
+      "      --requests <n>      bench load: fixed operation budget instead\n"
+      "      --rate <rps>        bench load: open-loop arrivals per second\n"
+      "                          (default closed loop)\n"
+      "      --seed <n>          bench load: schedule seed (default 20160)\n"
+      "      --mix <m>           bench load: workload mix weights, inline\n"
+      "                          JSON or a file (docs/load.md)\n"
+      "      --base <doc.json>   bench load: base scenario document\n"
+      "      --max-error-rate <r>  bench load: fail (exit 3) above this\n"
+      "      --no-xcheck         bench load: skip the client/server\n"
+      "                          histogram cross-check\n"
+      "      --xcheck-overhead <f>  bench load: allowed client/server\n"
+      "                          latency overhead factor (default 16)\n"
       "      --prom              metrics: Prometheus text exposition\n"
       "      --json              cache stats: add registry counters;\n"
       "                          fleet status: JSON instead of a table\n"
@@ -329,6 +359,61 @@ int parse_options(int argc, char** argv, Options& opt) {
     } else if (arg == "--drain-grace" && i + 1 < argc) {
       if (!parse_timeout_ms(argv[++i], opt.drain_grace_ms)) {
         std::fprintf(stderr, "clktune: --drain-grace wants milliseconds\n");
+        return 1;
+      }
+    } else if (arg == "--connect" && i + 1 < argc) {
+      opt.connect = argv[++i];
+    } else if (arg == "--clients" && i + 1 < argc) {
+      const long clients = std::atol(argv[++i]);
+      if (clients <= 0) {
+        std::fprintf(stderr, "clktune: --clients wants >= 1\n");
+        return 1;
+      }
+      opt.clients = static_cast<std::size_t>(clients);
+    } else if (arg == "--duration" && i + 1 < argc) {
+      opt.duration_seconds = std::atof(argv[++i]);
+      if (!(opt.duration_seconds > 0.0)) {
+        std::fprintf(stderr, "clktune: --duration wants seconds > 0\n");
+        return 1;
+      }
+    } else if (arg == "--requests" && i + 1 < argc) {
+      const char* text = argv[++i];
+      char* end = nullptr;
+      opt.requests = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0' || opt.requests == 0) {
+        std::fprintf(stderr, "clktune: --requests wants a count >= 1\n");
+        return 1;
+      }
+    } else if (arg == "--rate" && i + 1 < argc) {
+      opt.rate = std::atof(argv[++i]);
+      if (!(opt.rate > 0.0)) {
+        std::fprintf(stderr, "clktune: --rate wants arrivals/second > 0\n");
+        return 1;
+      }
+    } else if (arg == "--seed" && i + 1 < argc) {
+      const char* text = argv[++i];
+      char* end = nullptr;
+      opt.seed = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr, "clktune: --seed wants an integer\n");
+        return 1;
+      }
+    } else if (arg == "--mix" && i + 1 < argc) {
+      opt.mix_spec = argv[++i];
+    } else if (arg == "--base" && i + 1 < argc) {
+      opt.base_file = argv[++i];
+    } else if (arg == "--max-error-rate" && i + 1 < argc) {
+      opt.max_error_rate = std::atof(argv[++i]);
+      if (opt.max_error_rate < 0.0 || opt.max_error_rate > 1.0) {
+        std::fprintf(stderr, "clktune: --max-error-rate wants 0..1\n");
+        return 1;
+      }
+    } else if (arg == "--no-xcheck") {
+      opt.no_xcheck = true;
+    } else if (arg == "--xcheck-overhead" && i + 1 < argc) {
+      opt.xcheck_overhead = std::atof(argv[++i]);
+      if (!(opt.xcheck_overhead >= 1.0)) {
+        std::fprintf(stderr, "clktune: --xcheck-overhead wants >= 1\n");
         return 1;
       }
     } else if (arg == "--prom") {
@@ -1031,6 +1116,81 @@ int cmd_fleet(const Options& opt) {
   return status.dead == 0 ? 0 : 3;
 }
 
+/// `clktune bench load`: K-client load generation against a daemon or
+/// fleet (src/load/harness.h).  Writes the gate-ready BENCH_load.json in
+/// the working directory — the same artifact convention as the standalone
+/// bench binaries — and prints a short human summary.  Exit 0 when every
+/// gate held, 2 when no target answered the pre-flight probe or an input
+/// file is bad, 3 when the error-rate or cross-check gate failed.
+int cmd_bench(const Options& opt) {
+  if (opt.inputs.size() != 1 || opt.inputs[0] != "load") {
+    std::fprintf(stderr, "clktune: bench expects the load verb\n");
+    print_usage(stderr);
+    return 1;
+  }
+  if (opt.connect.empty() && opt.daemons.empty() && opt.fleet_file.empty()) {
+    std::fprintf(stderr,
+                 "clktune: bench load needs --connect, --daemons and/or"
+                 " --fleet\n");
+    print_usage(stderr);
+    return 1;
+  }
+
+  clktune::load::LoadOptions load;
+  if (!opt.fleet_file.empty())
+    load.targets = clktune::fleet::FleetSpec::from_file(opt.fleet_file);
+  if (!opt.connect.empty())
+    load.targets.merge(
+        clktune::fleet::FleetSpec::parse_daemon_list(opt.connect));
+  if (!opt.daemons.empty())
+    load.targets.merge(
+        clktune::fleet::FleetSpec::parse_daemon_list(opt.daemons));
+  if (!opt.mix_spec.empty())
+    load.mix = clktune::load::WorkloadMix::from_spec(opt.mix_spec);
+  if (!opt.base_file.empty())
+    load.base_doc = clktune::util::read_json_file(opt.base_file);
+  load.seed = opt.seed;
+  load.clients = opt.clients;
+  load.requests = opt.requests;
+  load.duration_seconds = opt.duration_seconds;
+  load.rate = opt.rate;
+  load.connect_timeout_ms = opt.connect_timeout_ms;
+  if (opt.io_timeout_ms > 0) load.io_timeout_ms = opt.io_timeout_ms;
+  load.max_error_rate = opt.max_error_rate;
+  load.cross_check = !opt.no_xcheck;
+  if (opt.xcheck_overhead > 0.0)
+    load.xcheck.overhead_factor = opt.xcheck_overhead;
+  load.quiet = opt.quiet;
+
+  const clktune::load::LoadResult result = clktune::load::run_load(load);
+
+  clktune::util::write_json_file("BENCH_load.json", result.bench_artifact, 2);
+  if (!opt.output.empty()) emit(opt, result.bench_artifact);
+  if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "clktune: load: %llu ops in %.2fs (%.1f rps), ok %llu,"
+                 " busy %llu (%.2f%%), errors %llu (%.2f%%)\n",
+                 static_cast<unsigned long long>(result.ops),
+                 result.wall_seconds, result.throughput_rps(),
+                 static_cast<unsigned long long>(result.ok),
+                 static_cast<unsigned long long>(result.busy),
+                 100.0 * result.busy_rate(),
+                 static_cast<unsigned long long>(result.errors),
+                 100.0 * result.error_rate());
+    for (const clktune::load::VerbObservation& verb : result.verbs)
+      std::fprintf(stderr,
+                   "clktune:   %-7s n=%-6llu p50 %.4fs  p90 %.4fs"
+                   "  p99 %.4fs\n",
+                   verb.verb.c_str(),
+                   static_cast<unsigned long long>(verb.count), verb.p50,
+                   verb.p90, verb.p99);
+    std::fprintf(stderr, "clktune: wrote BENCH_load.json\n");
+  }
+  for (const std::string& failure : result.gate_failures)
+    std::fprintf(stderr, "clktune: load gate: %s\n", failure.c_str());
+  return result.gate_exit_code();
+}
+
 /// `clktune drain`: ask a running server to stop admission, finish its
 /// in-flight work and exit — the remote form of SIGTERM.
 int cmd_drain(const Options& opt) {
@@ -1135,6 +1295,7 @@ int main(int argc, char** argv) {
     if (opt.command == "metrics")
       return expect_inputs(opt, 0) ? cmd_metrics(opt) : 1;
     if (opt.command == "fleet") return cmd_fleet(opt);
+    if (opt.command == "bench") return cmd_bench(opt);
     std::fprintf(stderr, "clktune: unknown command '%s'\n",
                  opt.command.c_str());
     print_usage(stderr);

@@ -1,0 +1,109 @@
+// Closed-loop load generation against a clktune daemon or fleet — the
+// `clktune bench load` engine.
+//
+// K client threads replay a seeded workload schedule (load/workload.h)
+// against the resolved targets.  Closed loop by default: each client
+// issues its next operation the moment the previous one finishes, so
+// throughput is the daemon's to set.  With `rate` > 0 the harness runs
+// open loop instead: operation g is *scheduled* to start at g/rate
+// seconds, latency is measured from that scheduled arrival (not from
+// when a free client got around to it), so queueing delay under
+// overload shows up in the percentiles instead of being coordinated
+// away.
+//
+// Every exchange lands in a client-side per-verb obs::Histogram; the
+// result carries p50/p90/p99 per verb, throughput, busy-frame and error
+// rates, and the client/server cross-check of load/xcheck.h.  The whole
+// run is stamped through bench::BenchReport into a BENCH_load.json
+// artifact that scripts/perf_gate.sh holds against bench/baselines/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_spec.h"
+#include "load/workload.h"
+#include "load/xcheck.h"
+#include "util/json.h"
+
+namespace clktune::load {
+
+struct LoadOptions {
+  /// Daemons under load; weights steer the per-operation target draw.
+  fleet::FleetSpec targets;
+  WorkloadMix mix;
+  std::uint64_t seed = 20160;
+  std::size_t clients = 4;
+  /// Budget: run until `requests` operations complete when > 0, else for
+  /// `duration_seconds` (both 0 defaults to 5 seconds of load).
+  std::uint64_t requests = 0;
+  double duration_seconds = 0.0;
+  /// > 0: open-loop arrivals per second across all clients.
+  double rate = 0.0;
+  /// Base scenario document; null uses workload.h's built-in tiny one.
+  util::Json base_doc;
+  int connect_timeout_ms = 5000;
+  /// Response-stall deadline per exchange.  Nonzero by default: a load
+  /// client must classify a wedged daemon as an error, never hang on it.
+  int io_timeout_ms = 30000;
+  /// Gate: error_rate above this fails the run (CLI exit 3).  1.0 = off.
+  double max_error_rate = 1.0;
+  /// Cross-check client vs server histograms after the run (exit 3 on
+  /// disagreement).  The server snapshot is fetched either way, for the
+  /// faults_injected stamp.
+  bool cross_check = true;
+  XcheckTolerance xcheck;
+  bool quiet = true;
+};
+
+/// Client-observed latency of one verb over the whole run.
+struct VerbObservation {
+  std::string verb;
+  std::uint64_t count = 0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, mean = 0.0;
+};
+
+struct LoadResult {
+  std::uint64_t ops = 0;     ///< operations completed (schedule entries)
+  std::uint64_t ok = 0;
+  std::uint64_t busy = 0;    ///< operations answered with a busy frame
+  std::uint64_t errors = 0;  ///< transport failures + error frames + failed jobs
+  std::uint64_t transport_errors = 0;  ///< connect/stream-level failures
+  double wall_seconds = 0.0;           ///< measured load window
+  std::vector<VerbObservation> verbs;
+  Agreement agreement;                  ///< empty when cross_check off
+  std::uint64_t server_busy_rejections = 0;  ///< delta over the run
+  std::uint64_t server_faults_injected = 0;  ///< delta over the run
+  bool server_metrics_available = false;
+  /// The full BENCH_load.json content (provenance-stamped, gate-ready).
+  util::Json bench_artifact;
+
+  double busy_rate() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(busy) / static_cast<double>(ops);
+  }
+  double error_rate() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(errors) / static_cast<double>(ops);
+  }
+  double throughput_rps() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(ops) / wall_seconds
+               : 0.0;
+  }
+
+  /// 0 when every enabled gate held, 3 otherwise (the CLI's exit code;
+  /// matches the yield-target convention).
+  int gate_exit_code() const { return gates_ok ? 0 : 3; }
+  bool gates_ok = true;
+  std::vector<std::string> gate_failures;  ///< human diagnostics
+};
+
+/// Runs the load.  Throws std::runtime_error when no target answers the
+/// pre-flight metrics probe (the CLI maps that to exit 2 — nothing was
+/// measured).  Individual failures *during* the run are data, not
+/// exceptions: they land in `errors` / `busy`.
+LoadResult run_load(const LoadOptions& options);
+
+}  // namespace clktune::load

@@ -1,0 +1,193 @@
+#include "load/workload.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace clktune::load {
+
+namespace {
+
+/// splitmix64 (Steele, Lea, Flood 2014): tiny, stateless-per-step and
+/// fully specified, so schedules are bit-identical on every platform —
+/// std::discrete_distribution offers no such guarantee.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+}  // namespace
+
+const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::run_warm:
+      return "run_warm";
+    case OpKind::run_fresh:
+      return "run_fresh";
+    case OpKind::sweep:
+      return "sweep";
+    case OpKind::status_probe:
+      return "status";
+    case OpKind::job_flow:
+      return "job_flow";
+  }
+  return "unknown";
+}
+
+WorkloadMix WorkloadMix::from_json(const util::Json& doc) {
+  // A spec lists exactly the kinds it wants: unspecified weights are zero,
+  // so `{"status": 1}` means a status-only workload, not "defaults plus
+  // more status".
+  WorkloadMix mix;
+  mix.run_warm = mix.run_fresh = mix.sweep = mix.status = mix.job_flow = 0.0;
+  struct Member {
+    const char* key;
+    double* weight;
+  };
+  const Member members[] = {
+      {"run_warm", &mix.run_warm}, {"run_fresh", &mix.run_fresh},
+      {"sweep", &mix.sweep},       {"status", &mix.status},
+      {"job_flow", &mix.job_flow},
+  };
+  for (const auto& [key, value] : doc.as_object()) {
+    bool known = false;
+    for (const Member& member : members) {
+      if (key != member.key) continue;
+      const double weight = value.as_double();
+      if (weight < 0.0)
+        throw std::invalid_argument("workload mix weight \"" + key +
+                                    "\" must be >= 0");
+      *member.weight = weight;
+      known = true;
+      break;
+    }
+    if (!known)
+      throw std::invalid_argument("unknown workload mix member \"" + key +
+                                  "\"");
+  }
+  if (!(mix.total() > 0.0))
+    throw std::invalid_argument("workload mix weights sum to zero");
+  return mix;
+}
+
+WorkloadMix WorkloadMix::from_spec(const std::string& spec) {
+  if (!spec.empty() && spec[0] == '{')
+    return from_json(util::Json::parse(spec));
+  return from_json(util::read_json_file(spec));
+}
+
+util::Json WorkloadMix::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("run_warm", run_warm);
+  j.set("run_fresh", run_fresh);
+  j.set("sweep", sweep);
+  j.set("status", status);
+  j.set("job_flow", job_flow);
+  return j;
+}
+
+std::vector<Op> make_schedule(const WorkloadMix& mix, std::uint64_t seed,
+                              std::size_t count,
+                              const std::vector<std::size_t>& target_weights) {
+  if (target_weights.empty())
+    throw std::invalid_argument("make_schedule: no targets");
+  std::size_t weight_total = 0;
+  for (std::size_t w : target_weights) weight_total += w;
+  if (weight_total == 0)
+    throw std::invalid_argument("make_schedule: target weights sum to zero");
+  if (!(mix.total() > 0.0))
+    throw std::invalid_argument("make_schedule: mix weights sum to zero");
+
+  const std::array<std::pair<OpKind, double>, 5> kinds = {{
+      {OpKind::run_warm, mix.run_warm},
+      {OpKind::run_fresh, mix.run_fresh},
+      {OpKind::sweep, mix.sweep},
+      {OpKind::status_probe, mix.status},
+      {OpKind::job_flow, mix.job_flow},
+  }};
+
+  SplitMix64 rng{seed};
+  std::vector<Op> schedule;
+  schedule.reserve(count);
+  std::uint64_t fresh = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Op op;
+    // Kind draw: walk the cumulative mix weights.
+    double r = rng.next_unit() * mix.total();
+    op.kind = kinds.back().first;
+    for (const auto& [kind, weight] : kinds) {
+      if (r < weight) {
+        op.kind = kind;
+        break;
+      }
+      r -= weight;
+    }
+    if (op.kind == OpKind::run_fresh || op.kind == OpKind::job_flow)
+      op.fresh_ordinal = fresh++;
+    // Target draw: integer arithmetic over the member weights.
+    std::uint64_t t = rng.next() % weight_total;
+    for (std::size_t member = 0; member < target_weights.size(); ++member) {
+      if (t < target_weights[member]) {
+        op.target = member;
+        break;
+      }
+      t -= target_weights[member];
+    }
+    schedule.push_back(op);
+  }
+  return schedule;
+}
+
+std::uint64_t fresh_ops(const std::vector<Op>& schedule) {
+  std::uint64_t fresh = 0;
+  for (const Op& op : schedule)
+    fresh += op.kind == OpKind::run_fresh || op.kind == OpKind::job_flow;
+  return fresh;
+}
+
+util::Json default_base_scenario() {
+  return util::Json::parse(R"({
+    "name": "load",
+    "design": {"synthetic": {"name": "load", "num_flipflops": 30,
+                             "num_gates": 220, "seed": 5}},
+    "clock": {"sigma_offset": 0.0, "period_samples": 400},
+    "insertion": {"num_samples": 200, "steps": 8},
+    "evaluation": {"samples": 400, "seed": 99}
+  })");
+}
+
+util::Json fresh_scenario(const util::Json& base, std::uint64_t index) {
+  util::Json doc = base;  // deep copy (value semantics)
+  const std::string suffix = "_f" + std::to_string(index);
+  doc.set("name", base.at("name").as_string() + suffix);
+  util::Json* design = doc.find("design");
+  util::Json* synthetic =
+      design != nullptr ? design->find("synthetic") : nullptr;
+  if (synthetic == nullptr)
+    throw util::JsonError("fresh_scenario: base lacks design.synthetic");
+  synthetic->set("name", synthetic->at("name").as_string() + suffix);
+  synthetic->set("seed",
+                 synthetic->at("seed").as_uint() + 1 + index);
+  return doc;
+}
+
+util::Json sweep_campaign(const util::Json& base) {
+  util::Json doc = util::Json::object();
+  doc.set("name", base.at("name").as_string() + "_campaign");
+  doc.set("base", base);
+  util::Json sweep = util::Json::object();
+  sweep.set("clock.sigma_offset",
+            util::Json(util::JsonArray{util::Json(0.0), util::Json(1.0)}));
+  doc.set("sweep", std::move(sweep));
+  return doc;
+}
+
+}  // namespace clktune::load

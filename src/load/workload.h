@@ -1,0 +1,90 @@
+// Deterministic mixed-workload schedules for the load harness.
+//
+// A WorkloadMix assigns weights to the operation kinds a production
+// daemon actually sees — warm-cache repeat runs, uncached fresh
+// documents, campaign sweeps, status probes and the detached
+// submit -> status -> attach job flow — and make_schedule() turns the mix
+// into a concrete operation sequence with a seeded generator.  The
+// schedule is a pure function of (mix, seed, count, target weights):
+// the same seed always produces the same request sequence, so a load run
+// is replayable and two machines hammering the same fleet from the same
+// seed issue identical traffic.  docs/load.md describes the mix schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace clktune::load {
+
+/// Operation kinds in the mix.  `run_warm` resubmits the base document
+/// (a daemon cache hit after the first client gets there); `run_fresh`
+/// submits a never-seen variant (a guaranteed miss); `job_flow` is the
+/// full detached lifecycle: submit --detach, status polls, attach.
+enum class OpKind { run_warm, run_fresh, sweep, status_probe, job_flow };
+
+const char* to_string(OpKind kind) noexcept;
+
+/// Relative weights; any may be zero, the total must be positive.
+struct WorkloadMix {
+  double run_warm = 4.0;
+  double run_fresh = 2.0;
+  double sweep = 1.0;
+  double status = 2.0;
+  double job_flow = 1.0;
+
+  double total() const {
+    return run_warm + run_fresh + sweep + status + job_flow;
+  }
+
+  /// Parses {"run_warm":4,"run_fresh":2,"sweep":1,"status":2,"job_flow":1}
+  /// — unspecified kinds get weight ZERO (a spec lists exactly the
+  /// workload it wants), unknown members and negative weights rejected,
+  /// zero total rejected.  Throws util::JsonError / std::invalid_argument.
+  static WorkloadMix from_json(const util::Json& doc);
+  /// Inline JSON when `spec` starts with '{', else a file path.
+  static WorkloadMix from_spec(const std::string& spec);
+  util::Json to_json() const;
+};
+
+/// One scheduled operation.  `fresh_ordinal` numbers the fresh-document
+/// operations (run_fresh and job_flow) within the schedule so each gets a
+/// distinct, deterministic document; `target` indexes the resolved fleet
+/// member the operation is sent to.
+struct Op {
+  OpKind kind = OpKind::status_probe;
+  std::uint64_t fresh_ordinal = 0;
+  std::size_t target = 0;
+};
+
+/// Generates `count` operations.  Kind draws follow the mix weights and
+/// target draws the per-member `target_weights` (a weight-2 daemon gets
+/// twice the traffic), both from one seeded splitmix64 stream — no global
+/// or platform-dependent randomness, so the sequence is bit-stable across
+/// machines.  `target_weights` must be non-empty with a positive total.
+std::vector<Op> make_schedule(const WorkloadMix& mix, std::uint64_t seed,
+                              std::size_t count,
+                              const std::vector<std::size_t>& target_weights);
+
+/// Fresh-document operations (run_fresh + job_flow) in a schedule; the
+/// harness uses it to keep document indices unique when a duration-mode
+/// run wraps around the schedule.
+std::uint64_t fresh_ops(const std::vector<Op>& schedule);
+
+/// The built-in base scenario: small enough that one request costs
+/// milliseconds (load tests measure the service, not the solver), large
+/// enough to exercise the full insertion + evaluation pipeline.
+util::Json default_base_scenario();
+
+/// A variant of `base` no daemon has seen: bumps the synthetic design
+/// seed by `index + 1` and suffixes the names, which changes the
+/// content-address key, so the daemon must compute it.
+util::Json fresh_scenario(const util::Json& base, std::uint64_t index);
+
+/// Wraps `base` in a two-cell campaign (clock.sigma_offset 0 and 1) for
+/// the sweep operations.
+util::Json sweep_campaign(const util::Json& base);
+
+}  // namespace clktune::load

@@ -1,0 +1,112 @@
+// Client/server latency cross-check: the load harness's own per-verb
+// latency histograms held against the daemons' clktune_serve_request_seconds
+// histograms, fetched through the `metrics` serve verb.
+//
+// The harness and the server measure the same requests from opposite ends
+// of the wire, so their histograms must agree: per verb, the server saw
+// the same number of requests the client completed (give or take the
+// client's transport errors), and the server-side handling quantiles lie
+// below the client-observed ones — a client can never finish a request
+// faster than the server handled it, modulo one log2 bucket of rounding —
+// while the client-observed quantiles stay within a configurable overhead
+// factor of the server's.  Disagreement means one side's instrumentation
+// lies, which is exactly what this check exists to catch (the PR-7
+// metrics are only trustworthy if an independent observer confirms them).
+//
+// Fleet-aware: snapshots are fetched per daemon and their histogram
+// buckets merged (the exposition lists non-cumulative log2 buckets, which
+// sum across processes), so one cross-check covers a whole pool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_spec.h"
+#include "serve/client.h"
+#include "util/json.h"
+
+namespace clktune::load {
+
+/// One histogram reconstructed from the wire exposition: non-cumulative
+/// (upper_bound, count) buckets plus the running sum, mergeable across
+/// daemons and subtractable across time.
+struct WireHistogram {
+  std::map<double, std::uint64_t> buckets;  ///< le seconds -> count
+  double sum_seconds = 0.0;
+
+  std::uint64_t count() const;
+  /// Upper-bound estimate of the q-quantile (0 < q <= 1), like
+  /// obs::Histogram::Snapshot::quantile; 0 when empty.
+  double quantile(double q) const;
+  void merge(const WireHistogram& other);
+};
+
+/// The server-side counters the cross-check consumes, summed over every
+/// fleet member at one point in time.
+struct ServerSnapshot {
+  std::map<std::string, WireHistogram> verb_latency;  ///< by verb label
+  std::uint64_t busy_rejections = 0;
+  /// Sum of clktune_fault_injected_total across daemons — nonzero marks
+  /// the run chaos-polluted, and the report stamps it so the perf gate
+  /// refuses the numbers.
+  std::uint64_t faults_injected = 0;
+
+  /// after - before, member-wise; before-only buckets are ignored (the
+  /// registry's counters are monotonic).
+  static ServerSnapshot delta(const ServerSnapshot& before,
+                              const ServerSnapshot& after);
+};
+
+/// One metrics round trip per fleet member, summed.  Throws
+/// std::runtime_error when any member is unreachable or answers with an
+/// error frame — the harness treats that as "cannot measure", exit 2.
+ServerSnapshot fetch_server_snapshot(const fleet::FleetSpec& targets,
+                                     const serve::SubmitOptions& timeouts);
+
+/// Client-side observation of one verb, as the harness recorded it.
+struct ClientVerb {
+  std::string verb;
+  std::uint64_t count = 0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+};
+
+struct VerbAgreement {
+  std::string verb;
+  std::uint64_t client_count = 0, server_count = 0;
+  double client_p50 = 0.0, server_p50 = 0.0;
+  double client_p99 = 0.0, server_p99 = 0.0;
+  bool ok = true;
+  std::string note;  ///< which rule failed, empty when ok
+
+  util::Json to_json() const;
+};
+
+struct Agreement {
+  bool ok = true;
+  std::vector<VerbAgreement> verbs;
+  util::Json to_json() const;
+};
+
+/// Tolerances for cross_check.  `overhead_factor` bounds how much worse
+/// the client may observe a quantile than the server (wire + connect +
+/// admission-queue wait); `slack_seconds` is an absolute allowance that
+/// keeps microsecond-scale verbs (status) from failing on constant
+/// overhead.  The physics direction — server above client — is fixed at
+/// one log2 bucket (2x) plus the slack, because nothing legitimate can
+/// exceed it.
+struct XcheckTolerance {
+  double overhead_factor = 16.0;
+  double slack_seconds = 0.05;
+};
+
+/// Holds every client-observed verb against the server delta.
+/// `transport_errors` loosens the count comparison: a request that died
+/// on the wire may or may not have been counted server-side.
+Agreement cross_check(const std::vector<ClientVerb>& client,
+                      const ServerSnapshot& server_delta,
+                      std::uint64_t transport_errors,
+                      const XcheckTolerance& tolerance);
+
+}  // namespace clktune::load

@@ -1,0 +1,366 @@
+// Load-harness tests (src/load): schedule determinism, wire-histogram
+// percentile math, the cross-check rules on synthetic inputs, and real
+// end-to-end runs against in-process daemons — including busy-frame
+// accounting on a queue-capacity-1 daemon and the client/server
+// latency-histogram agreement the harness gates on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "load/harness.h"
+#include "load/workload.h"
+#include "load/xcheck.h"
+#include "serve/server.h"
+#include "util/json.h"
+
+namespace clktune {
+namespace {
+
+using util::Json;
+
+// ---- workload schedule -------------------------------------------------
+
+TEST(WorkloadSchedule, IdenticalForIdenticalSeed) {
+  const load::WorkloadMix mix;
+  const std::vector<std::size_t> weights = {2, 1};
+  const std::vector<load::Op> a = load::make_schedule(mix, 42, 512, weights);
+  const std::vector<load::Op> b = load::make_schedule(mix, 42, 512, weights);
+  ASSERT_EQ(a.size(), 512u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "op " << i;
+    EXPECT_EQ(a[i].target, b[i].target) << "op " << i;
+    EXPECT_EQ(a[i].fresh_ordinal, b[i].fresh_ordinal) << "op " << i;
+  }
+}
+
+TEST(WorkloadSchedule, DifferentSeedsDiverge) {
+  const load::WorkloadMix mix;
+  const std::vector<std::size_t> weights = {1};
+  const std::vector<load::Op> a = load::make_schedule(mix, 1, 256, weights);
+  const std::vector<load::Op> b = load::make_schedule(mix, 2, 256, weights);
+  bool diverged = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    diverged = diverged || a[i].kind != b[i].kind;
+  EXPECT_TRUE(diverged);
+}
+
+TEST(WorkloadSchedule, HonoursMixWeightsAndNumbersFreshOps) {
+  load::WorkloadMix mix;
+  mix.run_warm = 1.0;
+  mix.run_fresh = 1.0;
+  mix.sweep = 0.0;
+  mix.status = 0.0;
+  mix.job_flow = 0.0;
+  const std::vector<load::Op> schedule =
+      load::make_schedule(mix, 7, 2000, {1});
+  std::size_t warm = 0, fresh = 0;
+  std::uint64_t next_ordinal = 0;
+  for (const load::Op& op : schedule) {
+    ASSERT_TRUE(op.kind == load::OpKind::run_warm ||
+                op.kind == load::OpKind::run_fresh);
+    if (op.kind == load::OpKind::run_warm) {
+      ++warm;
+    } else {
+      ++fresh;
+      // Fresh documents are numbered densely in schedule order, so a
+      // duration-mode lap of the schedule can offset them by lap count
+      // and never resubmit a seen document.
+      EXPECT_EQ(op.fresh_ordinal, next_ordinal++);
+    }
+  }
+  EXPECT_EQ(load::fresh_ops(schedule), fresh);
+  // 50/50 mix over 2000 draws: a 10-sigma band is ~±335.
+  EXPECT_NEAR(static_cast<double>(warm), 1000.0, 350.0);
+}
+
+TEST(WorkloadSchedule, SpreadsTargetsByWeight) {
+  const load::WorkloadMix mix;
+  const std::vector<load::Op> schedule =
+      load::make_schedule(mix, 11, 3000, {3, 1});
+  std::size_t first = 0;
+  for (const load::Op& op : schedule) first += op.target == 0;
+  const double share = static_cast<double>(first) / 3000.0;
+  EXPECT_NEAR(share, 0.75, 0.08);
+}
+
+TEST(WorkloadMixParse, RejectsBadInput) {
+  EXPECT_THROW(load::WorkloadMix::from_json(
+                   Json::parse(R"({"run_warm": -1})")),
+               std::invalid_argument);
+  EXPECT_THROW(load::WorkloadMix::from_json(
+                   Json::parse(R"({"runwarm": 1})")),
+               std::invalid_argument);
+  EXPECT_THROW(load::WorkloadMix::from_json(Json::parse(
+                   R"({"run_warm": 0, "run_fresh": 0, "sweep": 0,
+                       "status": 0, "job_flow": 0})")),
+               std::invalid_argument);
+  const load::WorkloadMix mix =
+      load::WorkloadMix::from_spec(R"({"status": 3, "sweep": 1})");
+  EXPECT_EQ(mix.status, 3.0);
+  EXPECT_EQ(mix.sweep, 1.0);
+  // A spec lists exactly the workload it wants — unlisted kinds are off.
+  EXPECT_EQ(mix.run_warm, 0.0);
+  EXPECT_EQ(mix.job_flow, 0.0);
+}
+
+TEST(WorkloadDocs, FreshScenariosAreUniqueAndSeedShifted) {
+  const Json base = load::default_base_scenario();
+  const Json f0 = load::fresh_scenario(base, 0);
+  const Json f7 = load::fresh_scenario(base, 7);
+  EXPECT_NE(f0.at("name").as_string(), base.at("name").as_string());
+  EXPECT_NE(f0.at("name").as_string(), f7.at("name").as_string());
+  const std::uint64_t base_seed =
+      base.at("design").at("synthetic").at("seed").as_uint();
+  EXPECT_EQ(f0.at("design").at("synthetic").at("seed").as_uint(),
+            base_seed + 1);
+  EXPECT_EQ(f7.at("design").at("synthetic").at("seed").as_uint(),
+            base_seed + 8);
+  const Json campaign = load::sweep_campaign(base);
+  EXPECT_NE(campaign.find("sweep"), nullptr);
+  EXPECT_NE(campaign.find("base"), nullptr);
+}
+
+// ---- wire-histogram percentile math ------------------------------------
+
+TEST(WireHistogram, QuantilesWalkTheBuckets) {
+  load::WireHistogram h;
+  h.buckets[0.001] = 50;  // 50 requests <= 1 ms
+  h.buckets[0.002] = 40;
+  h.buckets[0.004] = 9;
+  h.buckets[0.008] = 1;
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.001);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 0.002);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.004);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.008);
+}
+
+TEST(WireHistogram, MergeAndDeltaAreInverse) {
+  load::ServerSnapshot before, after;
+  before.verb_latency["run"].buckets[0.001] = 10;
+  before.verb_latency["run"].sum_seconds = 0.01;
+  after.verb_latency["run"].buckets[0.001] = 10;  // old traffic, unchanged
+  after.verb_latency["run"].buckets[0.002] = 5;   // the run's requests
+  after.verb_latency["run"].sum_seconds = 0.02;
+  after.busy_rejections = 3;
+  const load::ServerSnapshot delta =
+      load::ServerSnapshot::delta(before, after);
+  ASSERT_EQ(delta.verb_latency.count("run"), 1u);
+  EXPECT_EQ(delta.verb_latency.at("run").count(), 5u);
+  EXPECT_DOUBLE_EQ(delta.verb_latency.at("run").quantile(0.5), 0.002);
+  EXPECT_EQ(delta.busy_rejections, 3u);
+}
+
+// ---- cross-check rules on synthetic inputs -----------------------------
+
+load::ClientVerb client_verb(std::uint64_t count, double p50, double p99) {
+  load::ClientVerb v;
+  v.verb = "run";
+  v.count = count;
+  v.p50 = p50;
+  v.p90 = p99;
+  v.p99 = p99;
+  return v;
+}
+
+load::ServerSnapshot server_with(std::uint64_t count, double le) {
+  load::ServerSnapshot s;
+  s.verb_latency["run"].buckets[le] = count;
+  s.verb_latency["run"].sum_seconds = le * static_cast<double>(count);
+  return s;
+}
+
+TEST(CrossCheck, AgreesWhenHistogramsMatch) {
+  const load::Agreement a =
+      load::cross_check({client_verb(100, 0.002, 0.004)},
+                        server_with(100, 0.002), 0, {});
+  EXPECT_TRUE(a.ok);
+  ASSERT_EQ(a.verbs.size(), 1u);
+  EXPECT_TRUE(a.verbs[0].note.empty());
+}
+
+TEST(CrossCheck, FailsOnCountMismatchBeyondTransportWindow) {
+  EXPECT_FALSE(load::cross_check({client_verb(100, 0.002, 0.004)},
+                                 server_with(90, 0.002), 4, {})
+                   .ok);
+  // ...but 10 transport errors explain a 10-request gap.
+  EXPECT_TRUE(load::cross_check({client_verb(100, 0.002, 0.004)},
+                                server_with(90, 0.002), 10, {})
+                  .ok);
+}
+
+TEST(CrossCheck, FailsWhenServerExceedsClientObservation) {
+  // Server claims 1 s handling for requests the client saw finish in
+  // 2 ms — physically impossible, one side's instrumentation lies.
+  const load::Agreement a = load::cross_check(
+      {client_verb(100, 0.002, 0.004)}, server_with(100, 1.0), 0, {});
+  EXPECT_FALSE(a.ok);
+}
+
+TEST(CrossCheck, FailsWhenClientOverheadExceedsTolerance) {
+  load::XcheckTolerance tight;
+  tight.overhead_factor = 2.0;
+  tight.slack_seconds = 0.0;
+  const load::Agreement a = load::cross_check(
+      {client_verb(100, 1.0, 2.0)}, server_with(100, 0.002), 0, tight);
+  EXPECT_FALSE(a.ok);
+}
+
+TEST(CrossCheck, FailsWhenVerbMissingServerSide) {
+  const load::Agreement a = load::cross_check(
+      {client_verb(10, 0.002, 0.004)}, load::ServerSnapshot{}, 0, {});
+  EXPECT_FALSE(a.ok);
+  ASSERT_EQ(a.verbs.size(), 1u);
+  EXPECT_FALSE(a.verbs[0].note.empty());
+}
+
+// ---- end-to-end against in-process daemons -----------------------------
+
+class LoadServerFixture : public ::testing::Test {
+ protected:
+  void start(serve::ServeOptions options) {
+    options.port = 0;
+    options.quiet = true;
+    server_ = std::make_unique<serve::ScenarioServer>(std::move(options));
+    server_->start();
+    thread_ = std::thread([this] { server_->serve_forever(); });
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  load::LoadOptions options_for_server() const {
+    load::LoadOptions options;
+    fleet::FleetMember member;
+    member.host = "127.0.0.1";
+    member.port = server_->port();
+    options.targets.members.push_back(member);
+    return options;
+  }
+
+  std::unique_ptr<serve::ScenarioServer> server_;
+  std::thread thread_;
+};
+
+TEST_F(LoadServerFixture, ClosedLoopRunAgreesWithServerHistograms) {
+  serve::ServeOptions server_options;
+  server_options.threads = 2;
+  start(std::move(server_options));
+
+  load::LoadOptions options = options_for_server();
+  options.clients = 3;
+  options.requests = 30;
+  options.seed = 20160;
+  const load::LoadResult result = load::run_load(options);
+
+  EXPECT_EQ(result.ops, 30u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.busy, 0u);
+  EXPECT_EQ(result.ok, 30u);
+  EXPECT_FALSE(result.verbs.empty());
+  EXPECT_TRUE(result.server_metrics_available);
+
+  // The headline satellite assertion: client-side and server-side latency
+  // histograms of the same run agree within tolerance, per verb.
+  EXPECT_TRUE(result.agreement.ok);
+  for (const load::VerbAgreement& verb : result.agreement.verbs)
+    EXPECT_TRUE(verb.ok) << verb.verb << ": " << verb.note;
+
+  EXPECT_TRUE(result.gates_ok);
+  EXPECT_EQ(result.gate_exit_code(), 0);
+
+  // The artifact is gate-ready: provenance-stamped, fault-guarded, with
+  // the flat metrics gate.conf rules read.
+  const Json& artifact = result.bench_artifact;
+  EXPECT_EQ(artifact.at("bench").as_string(), "load");
+  EXPECT_EQ(artifact.at("faults_injected").as_uint(), 0u);
+  EXPECT_NE(artifact.find("git_sha"), nullptr);
+  EXPECT_NE(artifact.find("hostname"), nullptr);
+  EXPECT_NE(artifact.find("throughput_rps"), nullptr);
+  EXPECT_NE(artifact.find("p50_status_seconds"), nullptr);
+  EXPECT_EQ(artifact.at("workload").at("mode").as_string(), "closed");
+  EXPECT_EQ(artifact.at("requests").as_uint(), 30u);
+}
+
+TEST_F(LoadServerFixture, BusyFramesAccountedAgainstTinyQueue) {
+  // One admission thread, one queue slot: every sweep in the workload
+  // occupies the daemon while concurrent clients slam into busy frames.
+  serve::ServeOptions server_options;
+  server_options.threads = 1;
+  server_options.admission_threads = 1;
+  server_options.queue_capacity = 1;
+  start(std::move(server_options));
+
+  load::LoadOptions options = options_for_server();
+  options.clients = 4;
+  options.duration_seconds = 1.5;
+  options.mix = load::WorkloadMix::from_spec(
+      R"({"status": 6, "run_warm": 2, "sweep": 2})");
+  // On a saturated capacity-1 daemon the client's latency is dominated by
+  // queue wait (up to a whole sweep), which the server-side handler time
+  // excludes — widen the absolute slack so the cross-check judges the
+  // counts and physics, not the queueing.
+  options.xcheck.slack_seconds = 2.0;
+  const load::LoadResult result = load::run_load(options);
+
+  EXPECT_GT(result.ops, 0u);
+  EXPECT_GE(result.busy, 1u);
+  // Busy is backpressure, not failure: the classification is disjoint
+  // from errors and the two must tile the run with ok.
+  EXPECT_EQ(result.ok + result.busy + result.errors, result.ops);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.busy_rate(), 0.0);
+
+  // Every client-counted busy frame is one server-counted rejection —
+  // and busy frames stay out of both latency histograms, which is what
+  // lets the cross-check still hold on a saturated daemon.
+  ASSERT_TRUE(result.server_metrics_available);
+  EXPECT_EQ(result.server_busy_rejections, result.busy);
+  EXPECT_TRUE(result.agreement.ok);
+}
+
+TEST_F(LoadServerFixture, ErrorRateGateFailsTheRun) {
+  serve::ServeOptions server_options;
+  server_options.threads = 1;
+  start(std::move(server_options));
+
+  // Structurally valid JSON that is not a runnable scenario: every run op
+  // draws an error frame, which the harness must count (and the server
+  // verb-counts too) — then the --max-error-rate gate fails the run.
+  load::LoadOptions options = options_for_server();
+  options.clients = 2;
+  options.requests = 8;
+  options.mix = load::WorkloadMix::from_spec(R"({"run_warm": 1})");
+  options.base_doc = Json::parse(
+      R"({"name": "broken", "design": {}})");  // no design source at all
+  options.max_error_rate = 0.5;
+  const load::LoadResult result = load::run_load(options);
+
+  EXPECT_EQ(result.errors, result.ops);
+  EXPECT_EQ(result.transport_errors, 0u);  // error frames, not hangs
+  EXPECT_FALSE(result.gates_ok);
+  EXPECT_EQ(result.gate_exit_code(), 3);
+  ASSERT_FALSE(result.gate_failures.empty());
+  // Error frames are served requests: both sides count them, so the
+  // histogram agreement survives a 100%-error run.
+  EXPECT_TRUE(result.agreement.ok);
+}
+
+TEST(LoadPreflight, UnreachableTargetThrows) {
+  load::LoadOptions options;
+  fleet::FleetMember member;
+  member.host = "127.0.0.1";
+  member.port = 1;  // nothing listens on tcp/1
+  options.targets.members.push_back(member);
+  options.connect_timeout_ms = 200;
+  options.requests = 1;
+  EXPECT_THROW(load::run_load(options), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace clktune
