@@ -74,8 +74,9 @@ struct CacheMetrics {
 /// the on-disk entry format changes, so stale entries read as misses
 /// instead of wrong answers.  v2: disk entries became self-describing
 /// envelopes ({"key","sha256","result"}) so `clktune cache verify` can
-/// re-hash artifacts against their keys.
-constexpr const char* kSchemaSalt = "clktune-scenario-result-v2\n";
+/// re-hash artifacts against their keys.  v3: scenario kinds (criticality /
+/// binning) — new result shapes must never deserialize from v2 entries.
+constexpr const char* kSchemaSalt = "clktune-scenario-result-v3\n";
 
 }  // namespace
 

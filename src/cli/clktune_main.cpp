@@ -166,7 +166,8 @@ void print_usage(std::FILE* to) {
       "usage: clktune <command> [args] [options]\n"
       "\n"
       "commands:\n"
-      "  run <scenario.json>     execute one scenario\n"
+      "  run <scenario.json>     execute one scenario (kind: yield,\n"
+      "                          criticality or binning; docs/scenarios.md)\n"
       "  sweep <campaign.json>   expand and execute a parameter sweep\n"
       "  report <result.json>    print a saved result artifact as a table\n"
       "  report --diff <a> <b>   compare two artifacts, flag regressions\n"
@@ -477,6 +478,69 @@ std::unique_ptr<clktune::cache::ResultCache> make_cache(const Options& opt) {
 /// default, machine-readable NDJSON with --progress, nothing with --quiet.
 /// Cells finish on worker threads; each line is a single stdio call, so
 /// lines never interleave.
+/// Kind-aware one-line cell summary for human progress output ("yield
+/// 61.20% -> 95.40%", "top-arc criticality ...", "12 bins ...").
+std::string cell_summary(const clktune::scenario::ScenarioResult& result) {
+  char buf[160];
+  switch (result.kind) {
+    case clktune::scenario::ScenarioKind::criticality: {
+      const auto& arcs = result.criticality.arcs;
+      std::snprintf(buf, sizeof(buf),
+                    "top-arc criticality %.2f%% -> %.2f%% (%zu arcs ranked)",
+                    arcs.empty() ? 0.0 : 100.0 * arcs.front().before,
+                    arcs.empty() ? 0.0 : 100.0 * arcs.front().after,
+                    arcs.size());
+      break;
+    }
+    case clktune::scenario::ScenarioKind::binning:
+      std::snprintf(buf, sizeof(buf),
+                    "%zu bins  sell T=%.1f ps  unsellable %.2f%%",
+                    result.binning.bins.size(),
+                    result.binning.expected_sell_period_ps,
+                    100.0 * result.binning.unsellable_fraction);
+      break;
+    case clktune::scenario::ScenarioKind::yield:
+      std::snprintf(buf, sizeof(buf), "yield %.2f%% -> %.2f%%",
+                    100.0 * result.yield.original.yield,
+                    100.0 * result.yield.tuned.yield);
+      break;
+  }
+  return buf;
+}
+
+/// Same summary from a raw result artifact — the detached-attach path
+/// streams JSON frames and never materialises a ScenarioResult.
+std::string cell_summary(const Json& result) {
+  const Json* kind = result.find("kind");
+  const std::string k = kind != nullptr ? kind->as_string() : "yield";
+  char buf[160];
+  if (k == "criticality") {
+    const clktune::util::JsonArray& arcs =
+        result.at("criticality").at("arcs").as_array();
+    std::snprintf(buf, sizeof(buf),
+                  "top-arc criticality %.2f%% -> %.2f%% (%zu arcs ranked)",
+                  arcs.empty() ? 0.0
+                               : 100.0 * arcs.front().at("before").as_double(),
+                  arcs.empty() ? 0.0
+                               : 100.0 * arcs.front().at("after").as_double(),
+                  arcs.size());
+  } else if (k == "binning") {
+    const Json& binning = result.at("binning");
+    std::snprintf(buf, sizeof(buf),
+                  "%zu bins  sell T=%.1f ps  unsellable %.2f%%",
+                  binning.at("bins").as_array().size(),
+                  binning.at("expected_sell_period_ps").as_double(),
+                  100.0 * binning.at("unsellable_fraction").as_double());
+  } else {
+    std::snprintf(buf, sizeof(buf), "yield %.2f%% -> %.2f%%",
+                  100.0 * result.at("yield").at("original").at("yield")
+                              .as_double(),
+                  100.0 * result.at("yield").at("tuned").at("yield")
+                              .as_double());
+  }
+  return buf;
+}
+
 class CliObserver : public clktune::exec::Observer {
  public:
   explicit CliObserver(const Options& opt) : opt_(opt) {}
@@ -498,10 +562,9 @@ class CliObserver : public clktune::exec::Observer {
       std::fputs(text.c_str(), stderr);
       return;
     }
-    std::fprintf(stderr, "clktune: [%zu/%zu] %s  yield %.2f%% -> %.2f%%%s\n",
-                 event.index + 1, total_, event.result.name.c_str(),
-                 100.0 * event.result.yield.original.yield,
-                 100.0 * event.result.yield.tuned.yield,
+    std::fprintf(stderr, "clktune: [%zu/%zu] %s  %s%s\n", event.index + 1,
+                 total_, event.result.name.c_str(),
+                 cell_summary(event.result).c_str(),
                  event.cached ? "  (cached)" : "");
   }
 
@@ -541,13 +604,10 @@ int cmd_run(const Options& opt) {
   }
   emit(opt, outcome.artifact(opt.timings && !outcome.fully_cached()));
   if (!outcome.fully_cached() && !opt.quiet && !opt.progress)
-    std::fprintf(stderr,
-                 "clktune: %s  T=%.1f ps  Nb=%d  yield %.2f%% -> %.2f%%"
-                 "  (%.1f s)\n",
+    std::fprintf(stderr, "clktune: %s  T=%.1f ps  Nb=%d  %s  (%.1f s)\n",
                  outcome.result.name.c_str(), outcome.result.clock_period_ps,
                  outcome.result.insertion.plan.physical_buffers(),
-                 100.0 * outcome.result.yield.original.yield,
-                 100.0 * outcome.result.yield.tuned.yield,
+                 cell_summary(outcome.result).c_str(),
                  outcome.result.seconds);
   return outcome.ok() ? 0 : 3;
 }
@@ -763,12 +823,9 @@ int cmd_job_attach(const Options& opt, const std::string& id) {
       std::fputs(text.c_str(), stderr);
       return;
     }
-    std::fprintf(stderr, "clktune: [%zu/%zu] %s  yield %.2f%% -> %.2f%%%s\n",
-                 ++streamed, total, result.at("name").as_string().c_str(),
-                 100.0 * result.at("yield").at("original").at("yield")
-                             .as_double(),
-                 100.0 * result.at("yield").at("tuned").at("yield")
-                             .as_double(),
+    std::fprintf(stderr, "clktune: [%zu/%zu] %s  %s%s\n", ++streamed, total,
+                 result.at("name").as_string().c_str(),
+                 cell_summary(result).c_str(),
                  frame.at("cached").as_bool() ? "  (cached)" : "");
   };
   Json attach_wire = Json::object();
@@ -964,20 +1021,25 @@ int cmd_report_diff(const Options& opt) {
 
   std::printf("%-40s %10s %10s %9s\n", "cell", "yield_a", "yield_b", "delta");
   for (const clktune::scenario::CellDiff& cell : diff.cells)
-    std::printf("%-40s %9.2f%% %9.2f%% %+8.2f%%%s\n", cell.name.c_str(),
+    std::printf("%-40s %9.2f%% %9.2f%% %+8.2f%%%s%s\n", cell.name.c_str(),
                 100.0 * cell.yield_a, 100.0 * cell.yield_b,
                 100.0 * cell.delta(),
+                cell.kind == "yield" ? "" : ("  [" + cell.kind + "]").c_str(),
                 cell.regression ? "  REGRESSION" : "");
   for (const std::string& name : diff.only_in_a)
     std::printf("%-40s only in %s\n", name.c_str(), opt.inputs[0].c_str());
   for (const std::string& name : diff.only_in_b)
     std::printf("%-40s only in %s\n", name.c_str(), opt.inputs[1].c_str());
+  for (const std::string& name : diff.incomparable)
+    std::printf("%-40s incomparable (kind or ladder changed)\n",
+                name.c_str());
   std::printf("%zu cells compared, %llu regression(s) beyond %.3f\n",
               diff.cells.size(),
               static_cast<unsigned long long>(diff.regressions),
               opt.tolerance);
   if (diff.structural_mismatch()) {
-    std::fprintf(stderr, "clktune: cell sets differ — not the same sweep\n");
+    std::fprintf(stderr,
+                 "clktune: cell sets differ — not the same sweep\n");
     return 2;
   }
   return diff.regressions == 0 ? 0 : 3;
@@ -1010,6 +1072,47 @@ int cmd_report_merge(const Options& opt) {
   return merged.targets_missed == 0 ? 0 : 3;
 }
 
+/// Renders a kind-tagged (criticality / binning) result artifact.
+void print_analysis_cell(const Json& r) {
+  const std::string kind = r.at("kind").as_string();
+  if (kind == "criticality") {
+    const Json& crit = r.at("criticality");
+    std::printf("criticality %s: T=%.1f ps, %llu samples, %llu untunable\n",
+                r.at("name").as_string().c_str(),
+                crit.at("clock_period_ps").as_double(),
+                static_cast<unsigned long long>(
+                    crit.at("samples").as_uint()),
+                static_cast<unsigned long long>(
+                    crit.at("untunable").as_uint()));
+    std::printf("%8s %6s %6s %10s %10s\n", "arc", "src", "dst", "before",
+                "after");
+    for (const Json& arc : crit.at("arcs").as_array())
+      std::printf("%8llu %6lld %6lld %9.2f%% %9.2f%%\n",
+                  static_cast<unsigned long long>(arc.at("arc").as_uint()),
+                  static_cast<long long>(arc.at("src_ff").as_int()),
+                  static_cast<long long>(arc.at("dst_ff").as_int()),
+                  100.0 * arc.at("before").as_double(),
+                  100.0 * arc.at("after").as_double());
+    return;
+  }
+  const Json& binning = r.at("binning");
+  std::printf("binning %s: %llu samples, sell T=%.1f ps,"
+              " unsellable %.2f%%\n",
+              r.at("name").as_string().c_str(),
+              static_cast<unsigned long long>(
+                  binning.at("samples").as_uint()),
+              binning.at("expected_sell_period_ps").as_double(),
+              100.0 * binning.at("unsellable_fraction").as_double());
+  std::printf("%12s %10s %10s %10s\n", "period_ps", "original", "tuned",
+              "sell");
+  for (const Json& bin : binning.at("bins").as_array())
+    std::printf("%12.1f %9.2f%% %9.2f%% %9.2f%%\n",
+                bin.at("period_ps").as_double(),
+                100.0 * bin.at("original").at("yield").as_double(),
+                100.0 * bin.at("tuned").at("yield").as_double(),
+                100.0 * bin.at("sell_fraction").as_double());
+}
+
 int cmd_report(const Options& opt) {
   if (opt.diff) {
     if (!expect_inputs(opt, 2)) return 1;
@@ -1018,11 +1121,19 @@ int cmd_report(const Options& opt) {
   if (opt.merge) return cmd_report_merge(opt);
   if (!expect_inputs(opt, 1)) return 1;
   const Json doc = clktune::util::read_json_file(opt.inputs[0]);
+  // Yield cells render as the paper's table; kind-tagged cells get their
+  // own per-kind rendering below it.
   std::vector<clktune::core::TableRow> rows;
+  std::vector<const Json*> analysis_cells;
+  const auto classify = [&](const Json& r) {
+    if (r.contains("kind"))
+      analysis_cells.push_back(&r);
+    else
+      rows.push_back(row_from_json(r));
+  };
   if (doc.contains("results")) {
     // Campaign summary.
-    for (const Json& r : doc.at("results").as_array())
-      rows.push_back(row_from_json(r));
+    for (const Json& r : doc.at("results").as_array()) classify(r);
     std::printf("campaign %s: %llu scenarios, %llu missed target\n",
                 doc.at("name").as_string().c_str(),
                 static_cast<unsigned long long>(
@@ -1030,11 +1141,14 @@ int cmd_report(const Options& opt) {
                 static_cast<unsigned long long>(
                     doc.at("targets_missed").as_uint()));
   } else {
-    rows.push_back(row_from_json(doc));
+    classify(doc);
   }
-  std::ostringstream table;
-  clktune::core::print_table(table, rows);
-  std::fputs(table.str().c_str(), stdout);
+  if (!rows.empty()) {
+    std::ostringstream table;
+    clktune::core::print_table(table, rows);
+    std::fputs(table.str().c_str(), stdout);
+  }
+  for (const Json* r : analysis_cells) print_analysis_cell(*r);
   return 0;
 }
 

@@ -13,11 +13,9 @@ namespace {
 /// Shared ranking body: `delays_of(s, scratch)` yields sample s's realised
 /// delays (drawn directly or through a cache).
 template <class DelaysOf>
-std::vector<std::uint64_t> criticality_incidence(const ssta::SeqGraph& graph,
-                                                 double clock_period_ps,
-                                                 std::uint64_t samples,
-                                                 int threads,
-                                                 const DelaysOf& delays_of) {
+std::vector<std::uint64_t> criticality_incidence_impl(
+    const ssta::SeqGraph& graph, double clock_period_ps,
+    std::uint64_t samples, int threads, const DelaysOf& delays_of) {
   const std::size_t workers = util::resolve_thread_count(
       threads <= 0 ? 0 : static_cast<std::size_t>(threads));
   std::vector<std::vector<std::uint64_t>> partial(
@@ -52,9 +50,37 @@ std::vector<std::uint64_t> criticality_incidence(const ssta::SeqGraph& graph,
   return incidence;
 }
 
-feas::TuningPlan plan_from_incidence(const ssta::SeqGraph& graph,
-                                     const std::vector<std::uint64_t>& incidence,
-                                     int k, int steps, double step_ps) {
+}  // namespace
+
+std::vector<std::uint64_t> criticality_incidence(const ssta::SeqGraph& graph,
+                                                 const mc::Sampler& sampler,
+                                                 double clock_period_ps,
+                                                 std::uint64_t samples,
+                                                 int threads) {
+  return criticality_incidence_impl(
+      graph, clock_period_ps, samples, threads,
+      [&](std::size_t s, mc::ArcSample& scratch) {
+        sampler.evaluate(s, scratch);
+        return mc::ArcDelaysView{scratch.dmax.data(), scratch.dmin.data(),
+                                 graph.arcs.size()};
+      });
+}
+
+std::vector<std::uint64_t> criticality_incidence(const ssta::SeqGraph& graph,
+                                                 mc::SampleDelayCache& delays,
+                                                 double clock_period_ps,
+                                                 std::uint64_t samples,
+                                                 int threads, bool fill) {
+  return criticality_incidence_impl(
+      graph, clock_period_ps, samples, threads,
+      [&](std::size_t s, mc::ArcSample& scratch) {
+        return fill ? delays.fill(s, scratch) : delays.get(s, scratch);
+      });
+}
+
+feas::TuningPlan plan_from_incidence(
+    const ssta::SeqGraph& graph, const std::vector<std::uint64_t>& incidence,
+    int k, int steps, double step_ps) {
   std::vector<int> order(static_cast<std::size_t>(graph.num_ffs));
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
@@ -74,22 +100,17 @@ feas::TuningPlan plan_from_incidence(const ssta::SeqGraph& graph,
   return plan;
 }
 
-}  // namespace
-
 feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
                                         const mc::Sampler& sampler,
                                         double clock_period_ps,
                                         std::uint64_t samples, int k,
                                         int steps, double step_ps,
                                         int threads) {
-  const auto incidence = criticality_incidence(
-      graph, clock_period_ps, samples, threads,
-      [&](std::size_t s, mc::ArcSample& scratch) {
-        sampler.evaluate(s, scratch);
-        return mc::ArcDelaysView{scratch.dmax.data(), scratch.dmin.data(),
-                                 graph.arcs.size()};
-      });
-  return plan_from_incidence(graph, incidence, k, steps, step_ps);
+  return plan_from_incidence(
+      graph,
+      criticality_incidence(graph, sampler, clock_period_ps, samples,
+                            threads),
+      k, steps, step_ps);
 }
 
 feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
@@ -98,12 +119,11 @@ feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
                                         std::uint64_t samples, int k,
                                         int steps, double step_ps,
                                         int threads, bool fill) {
-  const auto incidence = criticality_incidence(
-      graph, clock_period_ps, samples, threads,
-      [&](std::size_t s, mc::ArcSample& scratch) {
-        return fill ? delays.fill(s, scratch) : delays.get(s, scratch);
-      });
-  return plan_from_incidence(graph, incidence, k, steps, step_ps);
+  return plan_from_incidence(
+      graph,
+      criticality_incidence(graph, delays, clock_period_ps, samples, threads,
+                            fill),
+      k, steps, step_ps);
 }
 
 feas::TuningPlan oracle_plan(const ssta::SeqGraph& graph, int steps,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "feas/tuning_plan.h"
 #include "mc/delay_cache.h"
@@ -18,9 +19,36 @@
 
 namespace clktune::core {
 
+/// Per-flip-flop incidence to failing setup arcs at x = 0 over `samples`
+/// Monte-Carlo chips — the ranking statistic behind top_k_criticality_plan,
+/// exposed so callers that need it more than once (several k values, or the
+/// criticality analysis engine reporting it next to binding probabilities)
+/// compute it exactly once.
+std::vector<std::uint64_t> criticality_incidence(const ssta::SeqGraph& graph,
+                                                 const mc::Sampler& sampler,
+                                                 double clock_period_ps,
+                                                 std::uint64_t samples,
+                                                 int threads = 0);
+
+/// Same statistic through a shared delay cache (fill=true computes and
+/// stores the delays; fill=false reuses them).
+std::vector<std::uint64_t> criticality_incidence(const ssta::SeqGraph& graph,
+                                                 mc::SampleDelayCache& delays,
+                                                 double clock_period_ps,
+                                                 std::uint64_t samples,
+                                                 int threads, bool fill);
+
+/// Buffers the top `k` flip-flops of an incidence ranking with symmetric
+/// windows of +-steps/2 (stable order: incidence desc, flip-flop index asc;
+/// zero-incidence flip-flops are never buffered).
+feas::TuningPlan plan_from_incidence(
+    const ssta::SeqGraph& graph, const std::vector<std::uint64_t>& incidence,
+    int k, int steps, double step_ps);
+
 /// Ranks flip-flops by how often they are incident to a failing arc at
 /// x = 0 over `samples` Monte-Carlo chips, then buffers the top `k` with
-/// symmetric windows of +-steps/2.
+/// symmetric windows of +-steps/2.  Equivalent to plan_from_incidence over
+/// criticality_incidence.
 feas::TuningPlan top_k_criticality_plan(const ssta::SeqGraph& graph,
                                         const mc::Sampler& sampler,
                                         double clock_period_ps,

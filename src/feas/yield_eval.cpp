@@ -187,10 +187,8 @@ bool YieldEvaluator::sample_feasible(const mc::ArcDelaysView& delays) const {
   return solve_sample_impl(CachedDelays{delays}, ws);
 }
 
-std::optional<std::vector<int>> YieldEvaluator::find_configuration(
-    const mc::Sampler& sampler, std::uint64_t k) const {
-  thread_local Workspace ws;
-  if (!solve_sample(sampler, k, ws)) return std::nullopt;
+std::vector<int> YieldEvaluator::config_from_workspace(
+    const Workspace& ws) const {
   // Normalise so the reference node sits at zero.
   const auto ref = static_cast<std::size_t>(plan_.num_groups);
   const std::vector<std::int64_t>& dist = ws.spfa.dist;
@@ -200,6 +198,20 @@ std::optional<std::vector<int>> YieldEvaluator::find_configuration(
     config[static_cast<std::size_t>(g)] =
         static_cast<int>(dist[static_cast<std::size_t>(g)] - base);
   return config;
+}
+
+std::optional<std::vector<int>> YieldEvaluator::find_configuration(
+    const mc::Sampler& sampler, std::uint64_t k) const {
+  thread_local Workspace ws;
+  if (!solve_sample(sampler, k, ws)) return std::nullopt;
+  return config_from_workspace(ws);
+}
+
+std::optional<std::vector<int>> YieldEvaluator::find_configuration(
+    const mc::ArcDelaysView& delays) const {
+  thread_local Workspace ws;
+  if (!solve_sample_impl(CachedDelays{delays}, ws)) return std::nullopt;
+  return config_from_workspace(ws);
 }
 
 YieldResult YieldEvaluator::evaluate(const mc::Sampler& sampler,

@@ -60,6 +60,19 @@ class YieldEvaluator {
   std::optional<std::vector<int>> find_configuration(
       const mc::Sampler& sampler, std::uint64_t k) const;
 
+  /// Same question over precomputed delays (a delay-cache slice), so a
+  /// caller that already materialised a sample's delays — the criticality
+  /// engine visits every arc anyway — does not pay a second sampling pass.
+  std::optional<std::vector<int>> find_configuration(
+      const mc::ArcDelaysView& delays) const;
+
+  /// Group variable of flip-flop `ff` under the plan's grouping; -1 when
+  /// the flip-flop carries no tuning buffer.  Configurations returned by
+  /// find_configuration are indexed by this variable.
+  int group_of_ff(int ff) const {
+    return var_of_ff_[static_cast<std::size_t>(ff)];
+  }
+
   /// Yield over `samples` Monte-Carlo chips.
   YieldResult evaluate(const mc::Sampler& sampler, std::uint64_t samples,
                        int threads = 0) const;
@@ -95,6 +108,8 @@ class YieldEvaluator {
   /// Feasibility of sample k; on success ws.dist holds the potentials.
   bool solve_sample(const mc::Sampler& sampler, std::uint64_t k,
                     Workspace& ws) const;
+  /// Per-group delay steps from a feasible workspace (reference at zero).
+  std::vector<int> config_from_workspace(const Workspace& ws) const;
   template <class Delays>
   bool solve_sample_impl(const Delays& delays, Workspace& ws) const;
 

@@ -217,7 +217,39 @@ Json insertion_to_json(const core::InsertionConfig& c) {
   return j;
 }
 
+std::vector<double> double_array(const Json& j, const std::string& context) {
+  std::vector<double> values;
+  for (const Json& v : j.as_array()) values.push_back(v.as_double());
+  if (values.empty())
+    throw JsonError(context + " must not be empty");
+  return values;
+}
+
+Json double_array_json(const std::vector<double>& values) {
+  Json j = Json::array();
+  for (const double v : values) j.push_back(Json(v));
+  return j;
+}
+
 }  // namespace
+
+// ------------------------------------------------------------ ScenarioKind
+
+const char* kind_name(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::yield: return "yield";
+    case ScenarioKind::criticality: return "criticality";
+    case ScenarioKind::binning: return "binning";
+  }
+  return "yield";
+}
+
+ScenarioKind kind_from_name(const std::string& name) {
+  if (name == "yield") return ScenarioKind::yield;
+  if (name == "criticality") return ScenarioKind::criticality;
+  if (name == "binning") return ScenarioKind::binning;
+  throw JsonError("scenario: unknown kind \"" + name + "\"");
+}
 
 // ----------------------------------------------------------- DesignSource
 
@@ -270,6 +302,10 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   ScenarioSpec spec;
   ObjectReader r(j, "scenario");
   r.read("name", spec.name);
+
+  std::string kind = "yield";
+  r.read("kind", kind);
+  spec.kind = kind_from_name(kind);
 
   const Json* design = r.find("design");
   if (design == nullptr) throw JsonError("scenario: missing \"design\"");
@@ -326,6 +362,26 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     er.reject_unknown();
   }
 
+  if (const Json* criticality = r.find("criticality")) {
+    if (spec.kind != ScenarioKind::criticality)
+      throw JsonError(
+          "scenario: \"criticality\" options require kind \"criticality\"");
+    ObjectReader cr(*criticality, "criticality");
+    cr.read("top_k", spec.criticality.top_k);
+    cr.reject_unknown();
+  }
+
+  if (const Json* bins = r.find("bins")) {
+    if (spec.kind != ScenarioKind::binning)
+      throw JsonError("scenario: \"bins\" options require kind \"binning\"");
+    ObjectReader br(*bins, "bins");
+    if (const Json* periods = br.find("periods_ps"))
+      spec.bins.periods_ps = double_array(*periods, "bins.periods_ps");
+    if (const Json* offsets = br.find("sigma_offsets"))
+      spec.bins.sigma_offsets = double_array(*offsets, "bins.sigma_offsets");
+    br.reject_unknown();
+  }
+
   r.read("yield_target", spec.yield_target);
   r.reject_unknown();
   spec.validate();
@@ -335,6 +391,9 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
 Json ScenarioSpec::to_json() const {
   Json j = Json::object();
   j.set("name", name);
+  // Only non-default kinds are tagged, so pre-kind yield documents
+  // round-trip byte-identically.
+  if (kind != ScenarioKind::yield) j.set("kind", kind_name(kind));
 
   Json d = Json::object();
   switch (design.kind) {
@@ -379,6 +438,20 @@ Json ScenarioSpec::to_json() const {
   e.set("seed", evaluation.seed);
   j.set("evaluation", std::move(e));
 
+  if (kind == ScenarioKind::criticality) {
+    Json c = Json::object();
+    c.set("top_k", criticality.top_k);
+    j.set("criticality", std::move(c));
+  }
+  if (kind == ScenarioKind::binning) {
+    Json b = Json::object();
+    if (!bins.periods_ps.empty())
+      b.set("periods_ps", double_array_json(bins.periods_ps));
+    if (!bins.sigma_offsets.empty())
+      b.set("sigma_offsets", double_array_json(bins.sigma_offsets));
+    j.set("bins", std::move(b));
+  }
+
   if (yield_target) j.set("yield_target", *yield_target);
   return j;
 }
@@ -409,6 +482,30 @@ void ScenarioSpec::validate() const {
   if (insertion.corr_threshold < -1.0 || insertion.corr_threshold > 1.0)
     bad("insertion.corr_threshold must be in [-1, 1]");
   if (evaluation.samples == 0) bad("evaluation.samples must be >= 1");
+  if (kind != ScenarioKind::yield && yield_target)
+    bad("yield_target is only meaningful for kind \"yield\"");
+  if (kind != ScenarioKind::binning && bins.any())
+    bad("bins options require kind \"binning\"");
+  if (kind == ScenarioKind::criticality && criticality.top_k < 1)
+    bad("criticality.top_k must be >= 1");
+  if (kind == ScenarioKind::binning) {
+    const bool explicit_ladder = !bins.periods_ps.empty();
+    const bool derived_ladder = !bins.sigma_offsets.empty();
+    if (explicit_ladder == derived_ladder)
+      bad("bins requires exactly one of periods_ps / sigma_offsets");
+    const std::vector<double>& ladder =
+        explicit_ladder ? bins.periods_ps : bins.sigma_offsets;
+    if (ladder.size() > 64) bad("bins ladder is capped at 64 rungs");
+    for (std::size_t r = 0; r < ladder.size(); ++r) {
+      if (explicit_ladder && ladder[r] <= 0.0)
+        bad("bins.periods_ps must be positive");
+      if (r > 0 && ladder[r] <= ladder[r - 1])
+        bad("bins ladder must be strictly ascending");
+    }
+    if (derived_ladder && clock.period_ps)
+      bad("bins.sigma_offsets requires the derived clock policy "
+          "(no clock.period_ps)");
+  }
   if (yield_target && (*yield_target < 0.0 || *yield_target > 1.0))
     bad("yield_target must be in [0, 1]");
   if (variation.local_sigma && *variation.local_sigma < 0.0)
@@ -423,6 +520,9 @@ void ScenarioSpec::validate() const {
 
 Json ScenarioResult::to_json(bool include_timing) const {
   Json j = Json::object();
+  // Kind-tagged artifacts lead with the tag; yield artifacts stay exactly
+  // the pre-kind bytes.
+  if (kind != ScenarioKind::yield) j.set("kind", kind_name(kind));
   j.set("name", name);
   j.set("setting", setting);
   j.set("clock_period_ps", clock_period_ps);
@@ -434,7 +534,17 @@ Json ScenarioResult::to_json(bool include_timing) const {
   d.set("num_arcs", static_cast<std::uint64_t>(num_arcs));
   j.set("design", std::move(d));
   j.set("insertion", core::insertion_result_json(insertion, include_timing));
-  j.set("yield", core::yield_report_json(yield));
+  switch (kind) {
+    case ScenarioKind::yield:
+      j.set("yield", core::yield_report_json(yield));
+      break;
+    case ScenarioKind::criticality:
+      j.set("criticality", criticality.to_json());
+      break;
+    case ScenarioKind::binning:
+      j.set("binning", binning.to_json());
+      break;
+  }
   j.set("met_target", met_target);
   if (include_timing) j.set("seconds", seconds);
   return j;
@@ -442,6 +552,8 @@ Json ScenarioResult::to_json(bool include_timing) const {
 
 ScenarioResult ScenarioResult::from_json(const Json& j) {
   ScenarioResult result;
+  if (const Json* kind = j.find("kind"))
+    result.kind = kind_from_name(kind->as_string());
   result.name = j.at("name").as_string();
   result.setting = j.at("setting").as_string();
   result.clock_period_ps = j.at("clock_period_ps").as_double();
@@ -452,7 +564,18 @@ ScenarioResult ScenarioResult::from_json(const Json& j) {
   result.num_gates = static_cast<int>(design.at("num_gates").as_int());
   result.num_arcs = static_cast<std::size_t>(design.at("num_arcs").as_uint());
   result.insertion = core::insertion_result_from_json(j.at("insertion"));
-  result.yield = core::yield_report_from_json(j.at("yield"));
+  switch (result.kind) {
+    case ScenarioKind::yield:
+      result.yield = core::yield_report_from_json(j.at("yield"));
+      break;
+    case ScenarioKind::criticality:
+      result.criticality =
+          analysis::CriticalityReport::from_json(j.at("criticality"));
+      break;
+    case ScenarioKind::binning:
+      result.binning = analysis::BinningReport::from_json(j.at("binning"));
+      break;
+  }
   result.met_target = j.at("met_target").as_bool();
   if (const Json* seconds = j.find("seconds"))
     result.seconds = seconds->as_double();
@@ -465,6 +588,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, int threads) {
 
   ScenarioResult result;
   result.name = spec.name;
+  result.kind = spec.kind;
   result.setting = spec.clock.label();
 
   netlist::Design design = spec.design.build();
@@ -500,14 +624,39 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, int threads) {
     result.insertion = engine.run();
   }
 
-  {
-    const obs::TraceSpan span("yield_eval");
-    result.yield = feas::evaluate_yield_report(
-        graph, result.insertion.plan, period, spec.evaluation.seed,
-        spec.evaluation.samples, threads);
+  switch (spec.kind) {
+    case ScenarioKind::yield: {
+      const obs::TraceSpan span("yield_eval");
+      result.yield = feas::evaluate_yield_report(
+          graph, result.insertion.plan, period, spec.evaluation.seed,
+          spec.evaluation.samples, threads);
+      result.met_target = !spec.yield_target ||
+                          result.yield.tuned.yield >= *spec.yield_target;
+      break;
+    }
+    case ScenarioKind::criticality: {
+      const obs::TraceSpan span("criticality");
+      result.criticality = analysis::compute_criticality(
+          graph, result.insertion.plan, period, spec.evaluation.seed,
+          spec.evaluation.samples, spec.criticality, threads);
+      break;
+    }
+    case ScenarioKind::binning: {
+      const obs::TraceSpan span("binning");
+      std::vector<double> ladder = spec.bins.periods_ps;
+      if (ladder.empty()) {
+        // Derived rungs mu + k * sigma; validation guarantees the derived
+        // clock policy, so period stats exist.
+        for (const double offset : spec.bins.sigma_offsets)
+          ladder.push_back(result.period_mu_ps +
+                           offset * result.period_sigma_ps);
+      }
+      result.binning = analysis::compute_binning(
+          graph, result.insertion.plan, ladder, spec.evaluation.seed,
+          spec.evaluation.samples, threads);
+      break;
+    }
   }
-  result.met_target =
-      !spec.yield_target || result.yield.tuned.yield >= *spec.yield_target;
   result.seconds = timer.seconds();
   return result;
 }

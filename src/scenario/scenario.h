@@ -4,8 +4,10 @@
 // paper's kind — design source, variation model, clock-period policy,
 // insertion configuration and evaluation budget — parsed from a small JSON
 // document.  Running a scenario executes the full flow (design → sequential
-// graph → period distribution → buffer insertion → out-of-sample yield
-// report) and yields a machine-readable ScenarioResult.
+// graph → period distribution → buffer insertion → out-of-sample analysis)
+// and yields a machine-readable ScenarioResult.  The optional "kind" member
+// selects the analysis: "yield" (default, the paper's workload),
+// "criticality" or "binning" (src/analysis; see docs/scenarios.md).
 //
 // Example scenario document:
 //
@@ -32,7 +34,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "analysis/binning.h"
+#include "analysis/criticality.h"
 #include "core/engine.h"
 #include "core/insertion_config.h"
 #include "feas/yield_eval.h"
@@ -41,6 +46,19 @@
 #include "util/json.h"
 
 namespace clktune::scenario {
+
+/// What a scenario computes after buffer insertion.  `yield` is the paper's
+/// original workload (and the default — documents without a "kind" member
+/// parse and serialise byte-identically to before kinds existed);
+/// `criticality` and `binning` are the sibling-paper workloads served by
+/// src/analysis.  The kind rides inside the scenario document, so every
+/// exec/serve/fleet backend carries it without wire changes.
+enum class ScenarioKind { yield, criticality, binning };
+
+/// Stable wire name of a kind ("yield" / "criticality" / "binning").
+const char* kind_name(ScenarioKind kind);
+/// Inverse of kind_name; throws util::JsonError on an unknown name.
+ScenarioKind kind_from_name(const std::string& name);
 
 /// Where the design under test comes from.
 enum class DesignSourceKind { bench_file, synthetic, paper_circuit };
@@ -92,15 +110,31 @@ struct EvaluationBudget {
   std::uint64_t seed = 5150;
 };
 
+/// The binning kind's clock-period ladder: either explicit periods or rungs
+/// derived from the sampled minimum-period distribution as mu + k * sigma
+/// (exactly one form; both strictly ascending).
+struct BinLadder {
+  std::vector<double> periods_ps;
+  std::vector<double> sigma_offsets;
+
+  bool any() const { return !periods_ps.empty() || !sigma_offsets.empty(); }
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
+  ScenarioKind kind = ScenarioKind::yield;
   DesignSource design;
   VariationOverrides variation;
   ClockPolicy clock;
   core::InsertionConfig insertion;
   EvaluationBudget evaluation;
+  /// criticality kind: report depth.
+  analysis::CriticalityOptions criticality;
+  /// binning kind: the period ladder.
+  BinLadder bins;
   /// Optional acceptance bar on tuned yield (probability); scenarios whose
   /// tuned yield falls below are flagged in results and campaign summaries.
+  /// Only meaningful for the yield kind.
   std::optional<double> yield_target;
 
   /// Parses and validates a scenario document; throws util::JsonError on
@@ -113,9 +147,13 @@ struct ScenarioSpec {
   void validate() const;
 };
 
-/// Everything a scenario run produces.
+/// Everything a scenario run produces.  Exactly one kind payload is
+/// populated: `yield` for ScenarioKind::yield (artifact unchanged from
+/// before kinds existed), `criticality` / `binning` for the analysis kinds
+/// (kind-tagged artifacts).
 struct ScenarioResult {
   std::string name;
+  ScenarioKind kind = ScenarioKind::yield;
   std::string setting;  ///< clock policy label
   double clock_period_ps = 0.0;
   double period_mu_ps = 0.0;     ///< sampled minimum-period mean
@@ -124,7 +162,9 @@ struct ScenarioResult {
   int num_gates = 0;
   std::size_t num_arcs = 0;
   core::InsertionResult insertion;
-  feas::YieldReport yield;
+  feas::YieldReport yield;                   ///< yield kind
+  analysis::CriticalityReport criticality;   ///< criticality kind
+  analysis::BinningReport binning;           ///< binning kind
   bool met_target = true;  ///< tuned yield >= yield_target (if set)
   double seconds = 0.0;    ///< wall-clock (excluded from deterministic JSON)
 

@@ -1,5 +1,7 @@
 #include "scenario/summary_diff.h"
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <utility>
 
@@ -12,17 +14,36 @@ namespace {
 
 struct Cell {
   std::string name;
-  double tuned_yield = 0.0;
+  std::string kind;
+  /// Kind-specific comparison metrics, keyed deterministically:
+  /// yield → {"tuned"}, criticality → {"arc:<index>"} (after-tuning
+  /// probability), binning → {"<period_ps>"} (tuned yield per rung).
+  std::vector<std::pair<std::string, double>> metrics;
 };
 
-/// Extracts (name, tuned yield) per cell from a campaign summary (its
-/// "results" array) or a bare scenario-result artifact.
+/// Extracts comparison cells from a campaign summary (its "results" array)
+/// or a bare scenario-result artifact.
 std::vector<Cell> extract_cells(const Json& artifact) {
   std::vector<Cell> cells;
   const auto read_one = [&](const Json& r) {
     Cell cell;
     cell.name = r.at("name").as_string();
-    cell.tuned_yield = r.at("yield").at("tuned").at("yield").as_double();
+    const Json* kind = r.find("kind");
+    cell.kind = kind != nullptr ? kind->as_string() : "yield";
+    if (cell.kind == "criticality") {
+      for (const Json& arc : r.at("criticality").at("arcs").as_array())
+        cell.metrics.emplace_back(
+            "arc:" + Json(arc.at("arc").as_uint()).dump(),
+            arc.at("after").as_double());
+    } else if (cell.kind == "binning") {
+      for (const Json& bin : r.at("binning").at("bins").as_array())
+        cell.metrics.emplace_back(
+            Json(bin.at("period_ps").as_double()).dump(),
+            bin.at("tuned").at("yield").as_double());
+    } else {
+      cell.metrics.emplace_back(
+          "tuned", r.at("yield").at("tuned").at("yield").as_double());
+    }
     cells.push_back(std::move(cell));
   };
   if (const Json* results = artifact.find("results")) {
@@ -33,6 +54,51 @@ std::vector<Cell> extract_cells(const Json& artifact) {
   return cells;
 }
 
+double lookup(const Cell& cell, const std::string& key, double missing) {
+  for (const auto& [k, v] : cell.metrics)
+    if (k == key) return v;
+  return missing;
+}
+
+/// The scalar shown in the diff table: tuned yield (yield), the highest
+/// after-tuning arc criticality (criticality), the lowest per-bin tuned
+/// yield (binning).
+double scalar_of(const Cell& cell) {
+  if (cell.metrics.empty()) return 0.0;
+  double value = cell.metrics.front().second;
+  for (const auto& [k, v] : cell.metrics)
+    value = cell.kind == "criticality" ? std::max(value, v)
+                                       : std::min(value, v);
+  return value;
+}
+
+/// Compares one matched cell pair; sets `regression`, or returns false when
+/// the pair is incomparable (different binning ladders).
+bool compare_cells(const Cell& a, const Cell& b, double tolerance,
+                   CellDiff& d) {
+  if (a.kind == "criticality") {
+    // Top-K rank sets under tolerance: an arc ranked on one side only
+    // counts as probability 0 on the other.
+    for (const auto& [key, va] : a.metrics)
+      if (std::abs(lookup(b, key, 0.0) - va) > tolerance) d.regression = true;
+    for (const auto& [key, vb] : b.metrics)
+      if (std::abs(lookup(a, key, 0.0) - vb) > tolerance) d.regression = true;
+    return true;
+  }
+  if (a.kind == "binning") {
+    // Same ladder required; then every rung's tuned yield may not drop.
+    if (a.metrics.size() != b.metrics.size()) return false;
+    for (std::size_t r = 0; r < a.metrics.size(); ++r)
+      if (a.metrics[r].first != b.metrics[r].first) return false;
+    for (std::size_t r = 0; r < a.metrics.size(); ++r)
+      if (b.metrics[r].second < a.metrics[r].second - tolerance)
+        d.regression = true;
+    return true;
+  }
+  d.regression = scalar_of(b) < scalar_of(a) - tolerance;
+  return true;
+}
+
 }  // namespace
 
 SummaryDiff diff_summaries(const Json& a, const Json& b, double tolerance) {
@@ -41,9 +107,9 @@ SummaryDiff diff_summaries(const Json& a, const Json& b, double tolerance) {
   const std::vector<Cell> cells_a = extract_cells(a);
   const std::vector<Cell> cells_b = extract_cells(b);
 
-  std::unordered_map<std::string, double> by_name_b;
+  std::unordered_map<std::string, const Cell*> by_name_b;
   for (const Cell& cell : cells_b)
-    if (!by_name_b.emplace(cell.name, cell.tuned_yield).second)
+    if (!by_name_b.emplace(cell.name, &cell).second)
       throw JsonError("diff: duplicate cell \"" + cell.name + "\"");
 
   SummaryDiff diff;
@@ -56,11 +122,20 @@ SummaryDiff diff_summaries(const Json& a, const Json& b, double tolerance) {
       diff.only_in_a.push_back(cell.name);
       continue;
     }
+    const Cell& other = *match->second;
+    if (cell.kind != other.kind) {
+      diff.incomparable.push_back(cell.name);
+      continue;
+    }
     CellDiff d;
     d.name = cell.name;
-    d.yield_a = cell.tuned_yield;
-    d.yield_b = match->second;
-    d.regression = d.yield_b < d.yield_a - tolerance;
+    d.kind = cell.kind;
+    d.yield_a = scalar_of(cell);
+    d.yield_b = scalar_of(other);
+    if (!compare_cells(cell, other, tolerance, d)) {
+      diff.incomparable.push_back(cell.name);
+      continue;
+    }
     diff.regressions += d.regression ? 1 : 0;
     diff.cells.push_back(std::move(d));
   }

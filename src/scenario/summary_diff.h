@@ -1,7 +1,20 @@
 // Cell-by-cell comparison of two campaign summaries (or single-scenario
 // result artifacts): same sweep run against different code or config, did
-// any cell's tuned yield regress?  Backs `clktune report --diff`, whose
-// nonzero exit turns a yield regression into a CI failure.
+// any cell regress?  Backs `clktune report --diff`, whose nonzero exit
+// turns a regression into a CI failure.
+//
+// Comparison is kind-aware (see scenario::ScenarioKind):
+//   * yield — a cell regresses when its tuned yield drops by more than the
+//     tolerance;
+//   * criticality — the top-K arc sets are compared as probability maps
+//     (an arc ranked in one artifact but not the other counts as 0); any
+//     per-arc after-tuning criticality differing by more than the
+//     tolerance is a regression;
+//   * binning — per-bin tuned yields are compared rung by rung; a cell
+//     whose ladder differs is incomparable (a structural mismatch, like a
+//     cell-set mismatch), and a bin yield dropping beyond the tolerance is
+//     a regression.
+// A cell whose kind differs between the artifacts is incomparable.
 #pragma once
 
 #include <cstdint>
@@ -12,12 +25,16 @@
 
 namespace clktune::scenario {
 
-/// One cell present in both summaries, matched by scenario name.
+/// One cell present in both summaries with the same kind, matched by
+/// scenario name.  `yield_a` / `yield_b` hold the kind's comparison scalar:
+/// tuned yield (yield), the highest after-tuning arc criticality
+/// (criticality) or the lowest per-bin tuned yield (binning).
 struct CellDiff {
   std::string name;
-  double yield_a = 0.0;  ///< tuned yield in the baseline artifact
-  double yield_b = 0.0;  ///< tuned yield in the candidate artifact
-  bool regression = false;  ///< yield_b < yield_a - tolerance
+  std::string kind;  ///< "yield" / "criticality" / "binning"
+  double yield_a = 0.0;  ///< comparison scalar in the baseline artifact
+  double yield_b = 0.0;  ///< comparison scalar in the candidate artifact
+  bool regression = false;
 
   double delta() const { return yield_b - yield_a; }
 };
@@ -26,18 +43,21 @@ struct SummaryDiff {
   std::vector<CellDiff> cells;            ///< in baseline order
   std::vector<std::string> only_in_a;     ///< cells the candidate lost
   std::vector<std::string> only_in_b;     ///< cells the candidate grew
+  /// Cells present in both but not comparable: mismatched kinds, or
+  /// binning ladders that differ.
+  std::vector<std::string> incomparable;
   std::uint64_t regressions = 0;
 
-  /// Cell sets differ — the two artifacts are not the same sweep.
+  /// The two artifacts are not the same sweep (cell sets differ, or cells
+  /// changed kind / ladder).
   bool structural_mismatch() const {
-    return !only_in_a.empty() || !only_in_b.empty();
+    return !only_in_a.empty() || !only_in_b.empty() || !incomparable.empty();
   }
 };
 
 /// Diffs two artifacts parsed from `clktune run` / `clktune sweep` output.
-/// A cell regresses when its tuned yield drops by more than `tolerance`
-/// (probability, not percent).  Throws util::JsonError on malformed input
-/// or duplicate cell names.
+/// `tolerance` is in probability (not percent).  Throws util::JsonError on
+/// malformed input or duplicate cell names.
 SummaryDiff diff_summaries(const util::Json& a, const util::Json& b,
                            double tolerance);
 

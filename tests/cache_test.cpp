@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/maintenance.h"
@@ -142,6 +143,38 @@ Json fake_artifact(int value) {
   Json j = Json::object();
   j.set("value", value);
   return j;
+}
+
+TEST(CacheKeyTest, V2SchemaEntriesAreCleanMisses) {
+  // Salt bump v2 -> v3 (scenario kinds changed the result artifact space):
+  // a perfectly well-formed entry stored under the v2 key of the same
+  // document must read as a miss, never deserialize into a v3 run.
+  const auto spec = scenario::ScenarioSpec::from_json(tiny_scenario_doc());
+  util::Sha256 v2;
+  v2.update("clktune-scenario-result-v2\n");
+  v2.update(util::canonical_dump(spec.to_json()));
+  const std::string v2_key = v2.hex_digest();
+  const std::string v3_key = cache::scenario_cache_key(spec);
+  ASSERT_NE(v2_key, v3_key);
+
+  const std::string dir = testing::TempDir() + "clktune_cache_v2";
+  std::filesystem::remove_all(dir);
+  cache::ResultCache cache_store(dir);
+  // The v2 entry is intact (valid envelope, matching digest) — the miss
+  // below is purely the salt bump, not corruption self-healing.
+  cache_store.put(v2_key, fake_artifact(2));
+  ASSERT_TRUE(cache::ResultCache(dir).get(v2_key).has_value());
+
+  cache::ResultCache fresh(dir);
+  EXPECT_FALSE(fresh.get(v3_key).has_value());
+  EXPECT_EQ(fresh.stats().misses, 1u);
+  EXPECT_EQ(fresh.stats().self_heals, 0u);
+
+  fresh.put(v3_key, fake_artifact(3));
+  const auto hit = cache::ResultCache(dir).get(v3_key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->at("value").as_int(), 3);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ResultCacheTest, MemoryHitMissAndStats) {
@@ -425,6 +458,90 @@ TEST(SummaryDiffTest, DetectsStructuralMismatch) {
   EXPECT_TRUE(diff.structural_mismatch());
   ASSERT_EQ(diff.only_in_a.size(), 1u);
   EXPECT_EQ(diff.only_in_a[0], "c1");
+}
+
+Json fake_criticality_cell(const char* name,
+                           std::vector<std::pair<int, double>> arcs) {
+  Json list = Json::array();
+  for (const auto& [index, after] : arcs) {
+    Json arc = Json::object();
+    arc.set("arc", index);
+    arc.set("after", after);
+    list.push_back(std::move(arc));
+  }
+  Json crit = Json::object();
+  crit.set("arcs", std::move(list));
+  Json r = Json::object();
+  r.set("name", name);
+  r.set("kind", "criticality");
+  r.set("criticality", std::move(crit));
+  return r;
+}
+
+Json fake_binning_cell(const char* name,
+                       std::vector<std::pair<double, double>> bins) {
+  Json list = Json::array();
+  for (const auto& [period, tuned_yield] : bins) {
+    Json tuned = Json::object();
+    tuned.set("yield", tuned_yield);
+    Json bin = Json::object();
+    bin.set("period_ps", period);
+    bin.set("tuned", std::move(tuned));
+    list.push_back(std::move(bin));
+  }
+  Json binning = Json::object();
+  binning.set("bins", std::move(list));
+  Json r = Json::object();
+  r.set("name", name);
+  r.set("kind", "binning");
+  r.set("binning", std::move(binning));
+  return r;
+}
+
+TEST(SummaryDiffTest, CriticalityComparesTopKRankSetsUnderTolerance) {
+  // Same arc set, probabilities within tolerance: clean.
+  const Json a = fake_criticality_cell("c", {{3, 0.40}, {7, 0.10}});
+  const Json close_b = fake_criticality_cell("c", {{3, 0.41}, {7, 0.10}});
+  EXPECT_EQ(scenario::diff_summaries(a, close_b, 0.02).regressions, 0u);
+
+  // An arc that left the ranking counts as probability 0 on that side.
+  const Json dropped = fake_criticality_cell("c", {{3, 0.40}});
+  const scenario::SummaryDiff d = scenario::diff_summaries(a, dropped, 0.02);
+  ASSERT_EQ(d.cells.size(), 1u);
+  EXPECT_EQ(d.cells[0].kind, "criticality");
+  EXPECT_TRUE(d.cells[0].regression);
+  EXPECT_FALSE(d.structural_mismatch());
+
+  // The comparison scalar is the highest after-tuning criticality.
+  EXPECT_DOUBLE_EQ(d.cells[0].yield_a, 0.40);
+}
+
+TEST(SummaryDiffTest, BinningComparesPerRungAndRejectsLadderChanges) {
+  const Json a = fake_binning_cell("c", {{500.0, 0.6}, {550.0, 0.9}});
+  const Json better = fake_binning_cell("c", {{500.0, 0.7}, {550.0, 0.9}});
+  EXPECT_EQ(scenario::diff_summaries(a, better, 0.01).regressions, 0u);
+
+  const Json worse = fake_binning_cell("c", {{500.0, 0.4}, {550.0, 0.9}});
+  const scenario::SummaryDiff d = scenario::diff_summaries(a, worse, 0.01);
+  EXPECT_EQ(d.regressions, 1u);
+  EXPECT_DOUBLE_EQ(d.cells[0].yield_a, 0.6);  // lowest per-bin tuned yield
+
+  // A different ladder is a structural mismatch, not a regression.
+  const Json moved = fake_binning_cell("c", {{500.0, 0.6}, {560.0, 0.9}});
+  const scenario::SummaryDiff m = scenario::diff_summaries(a, moved, 0.01);
+  EXPECT_TRUE(m.structural_mismatch());
+  ASSERT_EQ(m.incomparable.size(), 1u);
+  EXPECT_EQ(m.incomparable[0], "c");
+}
+
+TEST(SummaryDiffTest, MismatchedKindsAreIncomparable) {
+  const Json a = fake_summary("base", 0.9, 0.8).at("results").as_array()[0];
+  const Json b = fake_criticality_cell("c0", {{3, 0.4}});
+  const scenario::SummaryDiff diff = scenario::diff_summaries(a, b, 0.0);
+  EXPECT_TRUE(diff.structural_mismatch());
+  ASSERT_EQ(diff.incomparable.size(), 1u);
+  EXPECT_EQ(diff.incomparable[0], "c0");
+  EXPECT_EQ(diff.regressions, 0u);
 }
 
 }  // namespace

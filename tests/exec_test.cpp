@@ -59,6 +59,32 @@ exec::Request campaign_request() {
   return exec::Request::from_json(tiny_campaign_doc());
 }
 
+Json criticality_scenario_doc() {
+  Json doc = tiny_scenario_doc();
+  doc.set("kind", "criticality");
+  Json options = Json::object();
+  options.set("top_k", 5);
+  doc.set("criticality", std::move(options));
+  return doc;
+}
+
+Json binning_campaign_doc() {
+  Json base = tiny_scenario_doc();
+  base.set("kind", "binning");
+  Json bins = Json::object();
+  bins.set("sigma_offsets",
+           Json(util::JsonArray{Json(0.0), Json(1.0), Json(2.0)}));
+  base.set("bins", std::move(bins));
+  Json doc = Json::object();
+  doc.set("name", "binning_campaign");
+  doc.set("base", std::move(base));
+  Json sweep = Json::object();
+  sweep.set("design.synthetic.seed",
+            Json(util::JsonArray{Json(5), Json(6)}));
+  doc.set("sweep", std::move(sweep));
+  return doc;
+}
+
 /// Collects every observer event; thread-safe, since campaign cells finish
 /// on worker threads.
 class RecordingObserver : public exec::Observer {
@@ -133,6 +159,42 @@ TEST_F(ExecServerFixture, AllThreeBackendsProduceByteIdenticalSummaries) {
     EXPECT_EQ(outcome->scenarios_run, 2u);
     EXPECT_TRUE(outcome->ok());
   }
+}
+
+// Analysis kinds ride the scenario document, so they must flow through
+// every backend with zero wire changes — the daemon never inspects the
+// kind, it just runs the document it was handed.
+TEST_F(ExecServerFixture, AnalysisKindsAreByteIdenticalAcrossBackends) {
+  // Criticality: a lone kind-tagged scenario, compared against direct
+  // in-process execution.
+  exec::Request crit = exec::Request::from_json(criticality_scenario_doc());
+  ASSERT_EQ(crit.kind, exec::Request::Kind::scenario);
+  crit.threads = 2;
+  const scenario::ScenarioResult direct = scenario::run_scenario(
+      scenario::ScenarioSpec::from_json(criticality_scenario_doc()), 2);
+  ASSERT_EQ(direct.kind, scenario::ScenarioKind::criticality);
+  const std::string crit_expected = direct.to_json().dump();
+
+  exec::LocalExecutor local;
+  EXPECT_EQ(local.execute(crit).artifact().dump(), crit_expected);
+  exec::RemoteExecutor remote("127.0.0.1", server_->port());
+  EXPECT_EQ(remote.execute(crit).artifact().dump(), crit_expected);
+
+  // Binning: a two-cell campaign through all three backends.
+  const exec::Request bins = exec::Request::from_json(binning_campaign_doc());
+  const std::string bins_expected = local.execute(bins).artifact().dump();
+  EXPECT_EQ(remote.execute(bins).artifact().dump(), bins_expected);
+
+  std::vector<std::unique_ptr<exec::Executor>> children;
+  children.push_back(std::make_unique<exec::LocalExecutor>());
+  children.push_back(std::make_unique<exec::LocalExecutor>());
+  exec::ShardedExecutor sharded(std::move(children));
+  EXPECT_EQ(sharded.execute(bins).artifact().dump(), bins_expected);
+
+  // The artifacts really are kind-tagged (not silently downgraded).
+  const Json summary = Json::parse(bins_expected);
+  for (const Json& r : summary.at("results").as_array())
+    EXPECT_EQ(r.at("kind").as_string(), "binning");
 }
 
 TEST_F(ExecServerFixture, ScenarioRequestMatchesDirectExecution) {

@@ -196,6 +196,47 @@ TEST_F(FleetFixture, MultiCellUnitsAndDaemonCachesStayByteIdentical) {
   EXPECT_EQ(warm.scenarios_cached, 4u);
 }
 
+TEST_F(FleetFixture, AnalysisKindCampaignsStayByteIdenticalAcrossTheFleet) {
+  // Analysis kinds ride inside the scenario documents, so a mixed fleet
+  // run needs no fleet/serve awareness of them at all.  A criticality
+  // campaign (2 cells) and a lone binning scenario, fleet vs local.
+  Json crit_base = tiny_scenario_doc();
+  crit_base.set("kind", "criticality");
+  Json options = Json::object();
+  options.set("top_k", 5);
+  crit_base.set("criticality", std::move(options));
+  Json campaign = Json::object();
+  campaign.set("name", "crit_campaign");
+  campaign.set("base", std::move(crit_base));
+  Json sweep = Json::object();
+  sweep.set("clock.sigma_offset",
+            Json(util::JsonArray{Json(0.0), Json(1.0)}));
+  campaign.set("sweep", std::move(sweep));
+  const exec::Request crit_request = exec::Request::from_json(campaign);
+
+  exec::LocalExecutor local;
+  const std::string crit_expected =
+      local.execute(crit_request).artifact().dump();
+  fleet::FleetExecutor executor(whole_pool());
+  EXPECT_EQ(executor.execute(crit_request).artifact().dump(), crit_expected);
+  const Json crit_summary = Json::parse(crit_expected);
+  for (const Json& r : crit_summary.at("results").as_array())
+    EXPECT_EQ(r.at("kind").as_string(), "criticality");
+
+  Json bin_doc = tiny_scenario_doc();
+  bin_doc.set("kind", "binning");
+  Json bins = Json::object();
+  bins.set("sigma_offsets",
+           Json(util::JsonArray{Json(0.0), Json(2.0)}));
+  bin_doc.set("bins", std::move(bins));
+  exec::Request bin_request = exec::Request::from_json(bin_doc);
+  bin_request.threads = 2;  // pin to the daemons' worker count
+  const scenario::ScenarioResult direct = scenario::run_scenario(
+      scenario::ScenarioSpec::from_json(bin_doc), 2);
+  const exec::Outcome via_fleet = executor.execute(bin_request);
+  EXPECT_EQ(via_fleet.artifact().dump(), direct.to_json().dump());
+}
+
 // ---------------------------------------------------------- fault injection
 
 TEST_F(FleetFixture, DaemonKilledMidCampaignIsRequeuedByteIdentically) {

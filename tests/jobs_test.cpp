@@ -207,6 +207,53 @@ TEST_F(JobServiceFixture, AttachReplayIsByteIdenticalToSynchronousSweep) {
   EXPECT_EQ(stream.cached, 2u);
 }
 
+TEST_F(JobServiceFixture, DetachedAnalysisJobsAttachByteIdentically) {
+  // Kind-tagged documents through the whole async path: detached submit,
+  // terminal state, attach replay — bytes equal to in-process execution.
+  Json crit_doc = tiny_scenario_doc();
+  crit_doc.set("kind", "criticality");
+  Json options = Json::object();
+  options.set("top_k", 5);
+  crit_doc.set("criticality", std::move(options));
+
+  Json bin_base = tiny_scenario_doc();
+  bin_base.set("kind", "binning");
+  Json bins = Json::object();
+  bins.set("sigma_offsets",
+           Json(util::JsonArray{Json(0.0), Json(2.0)}));
+  bin_base.set("bins", std::move(bins));
+  Json bin_campaign = Json::object();
+  bin_campaign.set("name", "binning_campaign");
+  bin_campaign.set("base", std::move(bin_base));
+  Json sweep = Json::object();
+  sweep.set("clock.sigma_offset",
+            Json(util::JsonArray{Json(0.0), Json(1.0)}));
+  bin_campaign.set("sweep", std::move(sweep));
+
+  const std::string crit_id = submit_job(crit_doc).at("id").as_string();
+  const std::string bin_id = submit_job(bin_campaign).at("id").as_string();
+  ASSERT_EQ(wait_terminal(crit_id).at("state").as_string(), "done");
+  ASSERT_EQ(wait_terminal(bin_id).at("state").as_string(), "done");
+
+  const scenario::ScenarioResult crit_direct = scenario::run_scenario(
+      scenario::ScenarioSpec::from_json(crit_doc), 2);
+  const serve::SubmitOutcome crit_stream = attach(crit_id);
+  ASSERT_TRUE(crit_stream.ok());
+  ASSERT_EQ(crit_stream.results.size(), 1u);
+  EXPECT_EQ(crit_stream.results[0].dump(), crit_direct.to_json().dump());
+  EXPECT_EQ(crit_stream.results[0].at("kind").as_string(), "criticality");
+
+  exec::LocalExecutor local;
+  const exec::Outcome bin_reference =
+      local.execute(exec::Request::from_json(bin_campaign));
+  const serve::SubmitOutcome bin_stream = attach(bin_id);
+  ASSERT_TRUE(bin_stream.ok());
+  ASSERT_EQ(bin_stream.results.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_EQ(bin_stream.results[i].dump(),
+              bin_reference.summary.results[i].to_json().dump());
+}
+
 TEST_F(JobServiceFixture, LiveAttachOfAScenarioJobMatchesDirectRun) {
   // Attach right after admission: the stream subscribes live (or replays,
   // if the worker already won the race) — the bytes cannot tell.
